@@ -1,0 +1,255 @@
+(* The bddfc command-line tool.
+
+     bddfc chase FILE       run the chase on a program file
+     bddfc rewrite FILE     compute UCQ rewritings of the file's queries
+     bddfc classify FILE    print the class report of the file's theory
+     bddfc model FILE       run the Theorem 2 pipeline on the file
+     bddfc zoo [NAME]       list the paper's examples / run one
+
+   A program file contains rules, ground facts and queries in the surface
+   syntax, e.g.
+
+     e(X,Y) -> exists Z. e(Y,Z).
+     e(a,b).
+     ? u(X,Y).
+*)
+
+open Bddfc
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let src = read_file path in
+  let p = Logic.Parser.parse_program src in
+  let theory = Logic.Theory.make p.Logic.Parser.rules in
+  let db = Structure.Instance.of_atoms p.Logic.Parser.facts in
+  (theory, db, p.Logic.Parser.queries)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Program file (rules, facts, queries).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* ----------------------------- chase ----------------------------- *)
+
+let chase_cmd =
+  let rounds =
+    Arg.(value & opt int 16 & info [ "rounds" ] ~doc:"Maximum chase rounds.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("restricted", Chase.Chase.Restricted);
+                    ("oblivious", Chase.Chase.Oblivious) ])
+          Chase.Chase.Restricted
+      & info [ "variant" ] ~doc:"Chase variant: restricted or oblivious.")
+  in
+  let run file rounds variant verbose =
+    setup_logs verbose;
+    let theory, db, queries = load file in
+    let r = Chase.Chase.run ~variant ~max_rounds:rounds theory db in
+    Fmt.pr "%a@." Structure.Instance.pp r.Chase.Chase.instance;
+    Fmt.pr "-- rounds: %d, elements: %d, facts: %d, %s@."
+      r.Chase.Chase.rounds
+      (Structure.Instance.num_elements r.Chase.Chase.instance)
+      (Structure.Instance.num_facts r.Chase.Chase.instance)
+      (match r.Chase.Chase.outcome with
+      | Chase.Chase.Fixpoint -> "fixpoint (the result is a model)"
+      | Chase.Chase.Round_budget -> "round budget exhausted"
+      | Chase.Chase.Element_budget -> "element budget exhausted");
+    List.iter
+      (fun q ->
+        Fmt.pr "-- %a : %b@." Logic.Cq.pp q
+          (Hom.Eval.holds r.Chase.Chase.instance q))
+      queries
+  in
+  Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file.")
+    Term.(const run $ file_arg $ rounds $ variant $ verbose_arg)
+
+(* ---------------------------- rewrite ---------------------------- *)
+
+let rewrite_cmd =
+  let max_disjuncts =
+    Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
+  in
+  let run file max_disjuncts verbose =
+    setup_logs verbose;
+    let theory, _, queries = load file in
+    if queries = [] then Fmt.epr "no queries in %s@." file;
+    List.iter
+      (fun q ->
+        let r = Rewriting.Rewrite.rewrite ~max_disjuncts theory q in
+        Fmt.pr "@[<v>query: %a@,complete (BDD for this query): %b@,%a@,@]"
+          Logic.Cq.pp q r.Rewriting.Rewrite.complete
+          Fmt.(list ~sep:cut (fun ppf d -> Fmt.pf ppf "  | %a" Logic.Cq.pp d))
+          r.Rewriting.Rewrite.ucq)
+      queries
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute positive first-order (UCQ) rewritings.")
+    Term.(const run $ file_arg $ max_disjuncts $ verbose_arg)
+
+(* ---------------------------- classify --------------------------- *)
+
+let classify_cmd =
+  let run file verbose =
+    setup_logs verbose;
+    let theory, _, _ = load file in
+    Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
+    let k = Rewriting.Rewrite.kappa ~max_disjuncts:100 ~max_steps:2000 theory in
+    Fmt.pr "kappa: %d (rewritings complete: %b)@." k.Rewriting.Rewrite.kappa
+      k.Rewriting.Rewrite.all_complete
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory.")
+    Term.(const run $ file_arg $ verbose_arg)
+
+(* ----------------------------- model ----------------------------- *)
+
+let model_cmd =
+  let depth =
+    Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
+  in
+  let run file depth verbose =
+    setup_logs verbose;
+    let theory, db, queries = load file in
+    match queries with
+    | [] -> Fmt.epr "model: the file needs a query@."
+    | q :: _ ->
+        let params =
+          { Finitemodel.Pipeline.default_params with chase_depth = depth }
+        in
+        (match Finitemodel.Pipeline.construct ~params theory db q with
+        | Finitemodel.Pipeline.Model (cert, stats) ->
+            Fmt.pr "finite countermodel found (n=%s, kappa=%d, m=%d):@."
+              (match stats.Finitemodel.Pipeline.n_used with
+              | Some n -> string_of_int n
+              | None -> "?")
+              stats.Finitemodel.Pipeline.kappa
+              stats.Finitemodel.Pipeline.m_used;
+            Fmt.pr "%a@." Structure.Instance.pp cert.Finitemodel.Certificate.model;
+            Fmt.pr "-- verified: %b@."
+              (Finitemodel.Certificate.is_valid cert)
+        | Finitemodel.Pipeline.Query_entailed d ->
+            Fmt.pr "the query is certain (chase depth %d): no countermodel exists@." d
+        | Finitemodel.Pipeline.Unknown (why, _) ->
+            Fmt.pr "unknown: %s@." why)
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Run the Theorem 2 pipeline: find a finite model of the facts and \
+          rules avoiding the query.")
+    Term.(const run $ file_arg $ depth $ verbose_arg)
+
+(* ----------------------------- judge ----------------------------- *)
+
+let judge_cmd =
+  let run file verbose =
+    setup_logs verbose;
+    let theory, db, queries = load file in
+    match queries with
+    | [] -> Fmt.epr "judge: the file needs a query@."
+    | q :: _ ->
+        let v = Finitemodel.Judge.judge theory db q in
+        Fmt.pr "%a@." Finitemodel.Judge.pp v;
+        (match v.Finitemodel.Judge.evidence with
+        | Finitemodel.Judge.Witness (cert, _) ->
+            Fmt.pr "@.model:@.%a@." Structure.Instance.pp
+              cert.Finitemodel.Certificate.model
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "judge"
+       ~doc:
+         "Everything the library can say about finite controllability of \
+          the file's (rules, facts, query) triple.")
+    Term.(const run $ file_arg $ verbose_arg)
+
+(* ------------------------------ dot ------------------------------ *)
+
+let dot_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~doc:"Write the DOT graph to this file (default stdout).")
+  in
+  let rounds =
+    Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Chase rounds before export.")
+  in
+  let run file out rounds verbose =
+    setup_logs verbose;
+    let theory, db, _ = load file in
+    let r = Chase.Chase.run ~max_rounds:rounds theory db in
+    let dot = Structure.Dot.to_string r.Chase.Chase.instance in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+        Structure.Dot.to_file path r.Chase.Chase.instance;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Chase the program and export the result as GraphViz.")
+    Term.(const run $ file_arg $ out $ rounds $ verbose_arg)
+
+(* ------------------------------ zoo ------------------------------ *)
+
+let zoo_cmd =
+  let entry_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Zoo entry to run (omit to list).")
+  in
+  let run name verbose =
+    setup_logs verbose;
+    match name with
+    | None ->
+        List.iter
+          (fun (e : Workload.Zoo.entry) ->
+            Fmt.pr "%-16s %-14s %a@." e.Workload.Zoo.name e.Workload.Zoo.reference
+              Logic.Cq.pp e.Workload.Zoo.query)
+          Workload.Zoo.all
+    | Some n -> (
+        match Workload.Zoo.find n with
+        | None -> Fmt.epr "unknown zoo entry %s@." n
+        | Some e ->
+            Fmt.pr "@[<v>%s (%s)@,theory:@,%a@,query: %a@,@]"
+              e.Workload.Zoo.name e.Workload.Zoo.reference Logic.Theory.pp
+              e.Workload.Zoo.theory Logic.Cq.pp e.Workload.Zoo.query;
+            let db = Workload.Zoo.database_instance e in
+            (match
+               Finitemodel.Pipeline.construct e.Workload.Zoo.theory db
+                 e.Workload.Zoo.query
+             with
+            | Finitemodel.Pipeline.Model (cert, _) ->
+                Fmt.pr "pipeline: model with %d elements (verified %b)@."
+                  (Structure.Instance.num_elements
+                     cert.Finitemodel.Certificate.model)
+                  (Finitemodel.Certificate.is_valid cert)
+            | Finitemodel.Pipeline.Query_entailed d ->
+                Fmt.pr "pipeline: query certain at depth %d@." d
+            | Finitemodel.Pipeline.Unknown (why, _) ->
+                Fmt.pr "pipeline: unknown (%s)@." why))
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo.")
+    Term.(const run $ entry_name $ verbose_arg)
+
+let main =
+  let info =
+    Cmd.info "bddfc" ~version:"1.0.0"
+      ~doc:"Chase, rewriting and finite-model tools for Datalog-exists"
+  in
+  Cmd.group info
+    [ chase_cmd; rewrite_cmd; classify_cmd; model_cmd; judge_cmd; dot_cmd;
+      zoo_cmd ]
+
+let () = exit (Cmd.eval main)

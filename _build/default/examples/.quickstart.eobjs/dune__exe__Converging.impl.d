@@ -1,0 +1,1 @@
+examples/converging.ml: Array Bddfc Bddfc_workload Fmt Gen List Logic Ptp Structure

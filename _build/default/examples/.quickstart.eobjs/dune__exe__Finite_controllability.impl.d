@@ -1,0 +1,1 @@
+examples/finite_controllability.ml: Bddfc Bddfc_workload Chase Finitemodel Fmt Gen Hom List Logic Option Ptp Structure Zoo

@@ -1,0 +1,1 @@
+examples/finite_controllability.mli:

@@ -1,0 +1,1 @@
+examples/guarded_compilation.ml: Bddfc Chase Classes Finitemodel Fmt List Logic Printf Structure

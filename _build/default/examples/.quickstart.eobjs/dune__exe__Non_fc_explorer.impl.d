@@ -1,0 +1,1 @@
+examples/non_fc_explorer.ml: Bddfc Bddfc_workload Chase Finitemodel Fmt Hom List Logic Option Structure Zoo

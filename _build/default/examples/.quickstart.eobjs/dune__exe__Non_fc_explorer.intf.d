@@ -1,0 +1,1 @@
+examples/non_fc_explorer.mli:

@@ -1,0 +1,1 @@
+examples/ontology_answering.ml: Bddfc Chase Classes Finitemodel Fmt List Logic Printf Rewriting Structure

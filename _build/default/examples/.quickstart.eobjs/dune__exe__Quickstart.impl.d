@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bddfc Chase Finitemodel Fmt Hom List Logic Rewriting Structure

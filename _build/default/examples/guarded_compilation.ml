@@ -1,0 +1,62 @@
+(* Section 5.6: guarded Datalog-exists programs are "binary in disguise".
+   Compile a guarded ternary program to a binary one, compare certain
+   answers, and push the result through the binary pipeline.
+
+     dune exec examples/guarded_compilation.exe
+*)
+
+open Bddfc
+
+let theory_src =
+  {| % a guarded ternary ontology: sessions, grants, delegations
+     start(X) -> exists Z. session(X,Z).
+     session(X,Y) -> exists Z. grant(X,Y,Z).
+     grant(X,Y,Z) -> delegated(Y,Z).
+     grant(X,Y,Z) -> owner(X,Z).
+  |}
+
+let () =
+  let theory = Logic.Parser.parse_theory theory_src in
+  Fmt.pr "input (guarded, max arity %d):@.%a@.@."
+    (Logic.Signature.max_arity (Logic.Theory.signature theory))
+    Logic.Theory.pp theory;
+
+  let gb = Classes.Guarded.to_binary theory in
+  Fmt.pr
+    "compiled to binary: %d rules -> %d rules, max arity %d, %d monadic \
+     predicates@.@."
+    (Logic.Theory.size theory)
+    (Logic.Theory.size gb.Classes.Guarded.theory)
+    (Logic.Signature.max_arity (Logic.Theory.signature gb.Classes.Guarded.theory))
+    (List.length gb.Classes.Guarded.monadic_preds);
+
+  let db = Structure.Instance.of_atoms (Logic.Parser.parse_atoms "start(a).") in
+  let show_certainty t q =
+    match Chase.Chase.certain ~max_rounds:12 t db q with
+    | Chase.Chase.Entailed d -> Printf.sprintf "certain@%d" d
+    | Chase.Chase.Not_entailed -> "not certain"
+    | Chase.Chase.Unknown _ -> "unknown"
+  in
+  List.iter
+    (fun qsrc ->
+      let q = Logic.Parser.parse_query qsrc in
+      Fmt.pr "%-28s original: %-12s binary: %s@." qsrc
+        (show_certainty theory q)
+        (show_certainty gb.Classes.Guarded.theory q))
+    [ "? delegated(Y,Z).";
+      "? owner(a,Z).";
+      "? delegated(Y,Y).";
+      "? session(a,Z), delegated(Z,W)." ];
+
+  (* the compiled program is binary: Theorem 1's construction applies *)
+  Fmt.pr "@.running the binary pipeline on the compiled program...@.";
+  let q = Logic.Parser.parse_query "? delegated(Y,Y)." in
+  match Finitemodel.Pipeline.construct gb.Classes.Guarded.theory db q with
+  | Finitemodel.Pipeline.Model (cert, _) ->
+      Fmt.pr
+        "finite model avoiding delegated(Y,Y): %d elements, verified %b@."
+        (Structure.Instance.num_elements cert.Finitemodel.Certificate.model)
+        (Finitemodel.Certificate.is_valid cert)
+  | Finitemodel.Pipeline.Query_entailed d ->
+      Fmt.pr "query certain at depth %d@." d
+  | Finitemodel.Pipeline.Unknown (why, _) -> Fmt.pr "unknown: %s@." why

@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Array Atom Bddfc_hom Bddfc_logic Bddfc_structure Eval Fact Hashtbl Instance List Logs Pred Rule Smap String Term Theory

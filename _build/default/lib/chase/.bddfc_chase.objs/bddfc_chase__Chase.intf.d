@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Atom Bddfc_hom Bddfc_logic Bddfc_structure Cq Element Eval Fact Instance Theory

@@ -1,0 +1,1 @@
+lib/chase/provenance.ml: Array Atom Bddfc_hom Bddfc_logic Bddfc_structure Chase Eval Fact Fmt Hashtbl Instance List Option Rule Smap String Term Theory

@@ -1,0 +1,1 @@
+lib/chase/provenance.mli: Bddfc_logic Bddfc_structure Fact Fmt Instance Theory

@@ -1,0 +1,1 @@
+lib/chase/skeleton.ml: Array Bddfc_logic Bddfc_structure Bgraph Chase Element Fact Instance List Pred Theory

@@ -1,0 +1,1 @@
+lib/chase/skeleton.mli: Bddfc_logic Bddfc_structure Chase Instance Pred Theory

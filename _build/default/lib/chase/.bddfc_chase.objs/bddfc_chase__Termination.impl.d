@@ -1,0 +1,1 @@
+lib/chase/termination.ml: Atom Bddfc_logic Hashtbl List Option Pred Rule Set Term Theory

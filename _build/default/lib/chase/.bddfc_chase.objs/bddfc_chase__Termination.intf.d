@@ -1,0 +1,1 @@
+lib/chase/termination.mli: Bddfc_logic Pred Set Theory

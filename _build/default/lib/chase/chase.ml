@@ -1,0 +1,236 @@
+(* The chase (Section 1.1 of the paper).
+
+   We implement the *restricted* (non-oblivious) chase in rounds:
+   Chase^{i+1}(D, T) = Chase1(Chase^i(D, T), T), where Chase1 evaluates
+   every rule body on a snapshot and
+
+     - for a datalog rule, adds the instantiated head atoms;
+     - for an existential rule, checks on the snapshot whether a witness
+       already exists and, if not, creates fresh labelled nulls for the
+       existential variables — at most once per demanded head instance, so
+       that Lemma 3 (at most one TGP successor per element and predicate)
+       holds of the skeleton.
+
+   An oblivious variant (one witness per rule-and-body-homomorphism, no
+   witness check) is provided for comparison benchmarks. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+
+type variant =
+  | Restricted
+  | Oblivious
+
+type outcome =
+  | Fixpoint (* no trigger fired: the result is a model *)
+  | Round_budget (* stopped by max_rounds *)
+  | Element_budget (* stopped by max_elements *)
+
+type result = {
+  instance : Instance.t;
+  rounds : int;
+  outcome : outcome;
+  base_facts : Fact.t list; (* the facts of the input instance D *)
+  new_facts_per_round : int list; (* newest round first *)
+}
+
+let is_model result = result.outcome = Fixpoint
+
+let src = Logs.Src.create "bddfc.chase" ~doc:"Chase engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Instantiate an atom under a variable binding, creating terms for
+   existential variables via [fresh].  Returns the fact. *)
+let instantiate inst binding fresh atom =
+  let id_of = function
+    | Term.Cst c -> Instance.const inst c
+    | Term.Var x -> (
+        match Smap.find_opt x binding with
+        | Some id -> id
+        | None -> fresh x)
+  in
+  Fact.make (Atom.pred atom) (Array.of_list (List.map id_of (Atom.args atom)))
+
+(* Witness check: does the snapshot satisfy [exists Z. head] under the
+   frontier part of [binding]? *)
+let witness_exists snapshot rule binding =
+  let frontier = Rule.frontier rule in
+  let init =
+    Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
+  in
+  Eval.satisfiable ~init snapshot (Rule.head rule)
+
+(* Key identifying the demanded head instance: predicate names and frontier
+   arguments, with existential slots anonymized.  Two triggers demanding
+   the same head instance create a single witness. *)
+let demand_key rule binding =
+  let render_atom a =
+    let render = function
+      | Term.Cst c -> "c:" ^ c
+      | Term.Var x -> (
+          match Smap.find_opt x binding with
+          | Some id -> "e:" ^ string_of_int id
+          | None -> "z:" ^ x)
+    in
+    Pred.name (Atom.pred a) ^ "("
+    ^ String.concat "," (List.map render (Atom.args a))
+    ^ ")"
+  in
+  String.concat "&" (List.map render_atom (Rule.head rule))
+
+type round_stats = { fired_datalog : int; fired_existential : int }
+
+(* One simultaneous chase round on [inst].  Returns the number of facts
+   added.  [snapshot] is a copy used for body evaluation and witness
+   checks. *)
+let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
+    theory inst =
+  let snapshot = Instance.copy inst in
+  let added = ref 0 in
+  let stats = ref { fired_datalog = 0; fired_existential = 0 } in
+  (* [fired] persists across rounds (needed for the oblivious variant,
+     where a trigger must fire exactly once ever); without it the table is
+     per-round, which is enough for the restricted variant because the
+     created witness blocks the trigger in later rounds. *)
+  let demanded =
+    match fired with Some t -> t | None -> Hashtbl.create 64
+  in
+  List.iter
+    (fun rule ->
+      if (not datalog_only) || Rule.is_datalog rule then
+        Eval.iter_solutions snapshot (Rule.body rule) (fun binding ->
+            if Rule.is_datalog rule then begin
+              List.iter
+                (fun head_atom ->
+                  let f =
+                    instantiate inst binding
+                      (fun x ->
+                        invalid_arg ("Chase.round: unbound head variable " ^ x))
+                      head_atom
+                  in
+                  if Instance.add_fact inst f then begin
+                    incr added;
+                    stats :=
+                      { !stats with fired_datalog = !stats.fired_datalog + 1 }
+                  end)
+                (Rule.head rule)
+            end
+            else begin
+              let fire =
+                match variant with
+                | Oblivious -> true
+                | Restricted -> not (witness_exists snapshot rule binding)
+              in
+              let key =
+                match variant with
+                | Oblivious ->
+                    (* one witness per body homomorphism *)
+                    Rule.name rule ^ "#"
+                    ^ String.concat ","
+                        (List.map
+                           (fun (x, id) -> x ^ ":" ^ string_of_int id)
+                           (Smap.bindings binding))
+                | Restricted -> demand_key rule binding
+              in
+              if fire && not (Hashtbl.mem demanded key) then begin
+                Hashtbl.replace demanded key ();
+                (* parent: the first frontier element appearing in a head
+                   atom, used by the skeleton forest *)
+                let parent =
+                  List.fold_left
+                    (fun acc a ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          List.fold_left
+                            (fun acc' t ->
+                              match (acc', t) with
+                              | Some _, _ -> acc'
+                              | None, Term.Var x -> Smap.find_opt x binding
+                              | None, Term.Cst _ -> None)
+                            None (Atom.args a))
+                    None (Rule.head rule)
+                in
+                let fresh_cache = Hashtbl.create 4 in
+                let fresh x =
+                  match Hashtbl.find_opt fresh_cache x with
+                  | Some id -> id
+                  | None ->
+                      let id =
+                        Instance.fresh_null inst ~birth:round_no
+                          ~rule:(Rule.name rule) ~parent
+                      in
+                      Hashtbl.replace fresh_cache x id;
+                      id
+                in
+                List.iter
+                  (fun head_atom ->
+                    let f = instantiate inst binding fresh head_atom in
+                    if Instance.add_fact inst f then incr added)
+                  (Rule.head rule);
+                stats :=
+                  { !stats with
+                    fired_existential = !stats.fired_existential + 1;
+                  }
+              end
+            end))
+    (Theory.rules theory);
+  (!added, !stats)
+
+let run ?(variant = Restricted) ?(datalog_only = false) ?(max_rounds = 64)
+    ?(max_elements = 100_000) theory base =
+  let inst = Instance.copy base in
+  let base_facts = Instance.facts base in
+  let per_round = ref [] in
+  let fired = Hashtbl.create 64 in
+  let rec go i =
+    if i >= max_rounds then (i, Round_budget)
+    else if Instance.num_elements inst > max_elements then (i, Element_budget)
+    else begin
+      let added, _ =
+        round ~variant ~datalog_only
+          ?fired:(if variant = Oblivious then Some fired else None)
+          ~round_no:(i + 1) theory inst
+      in
+      per_round := added :: !per_round;
+      Log.debug (fun m -> m "round %d: %d new facts" (i + 1) added);
+      if added = 0 then (i, Fixpoint) else go (i + 1)
+    end
+  in
+  let rounds, outcome = go 0 in
+  { instance = inst; rounds; outcome; base_facts; new_facts_per_round = !per_round }
+
+(* Chase^k(D, T): exactly [k] rounds (or fewer if a fixpoint hits). *)
+let run_depth ?(variant = Restricted) ~depth theory base =
+  run ~variant ~max_rounds:depth ~max_elements:max_int theory base
+
+(* Datalog saturation: chase with the datalog rules only.  On a finite
+   instance this always terminates (no new elements are created). *)
+let saturate_datalog ?(max_rounds = 10_000) theory base =
+  run ~datalog_only:true ~max_rounds ~max_elements:max_int theory base
+
+(* Certain answering by chase: does Chase(D, T) |= q, and at which depth?
+   Checks the query after every round. *)
+type certainty =
+  | Entailed of int (* least chase depth at which the query held *)
+  | Not_entailed (* chase reached a fixpoint without satisfying q *)
+  | Unknown of int (* budget exhausted after this many rounds *)
+
+let certain ?(max_rounds = 64) ?(max_elements = 100_000) theory base q =
+  let inst = Instance.copy base in
+  if Eval.holds inst q then Entailed 0
+  else begin
+    let rec go i =
+      if i >= max_rounds then Unknown i
+      else if Instance.num_elements inst > max_elements then Unknown i
+      else begin
+        let added, _ = round ~round_no:(i + 1) theory inst in
+        if Eval.holds inst q then Entailed (i + 1)
+        else if added = 0 then Not_entailed
+        else go (i + 1)
+      end
+    in
+    go 0
+  end

@@ -1,0 +1,62 @@
+(** The chase (Section 1.1 of the paper), in simultaneous rounds:
+    [Chase^{i+1}(D,T) = Chase1(Chase^i(D,T), T)].
+
+    The default variant is the *restricted* (non-oblivious) chase: an
+    existential trigger fires only when no witness exists in the snapshot,
+    and within a round at most one witness is created per demanded head
+    instance — this is what makes Lemma 3 (skeleton forests of bounded
+    degree) true.  The oblivious variant creates one witness per body
+    homomorphism, exactly once ever. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+
+type variant =
+  | Restricted
+  | Oblivious
+
+type outcome =
+  | Fixpoint (** no trigger fired: the result is a model *)
+  | Round_budget
+  | Element_budget
+
+type result = {
+  instance : Instance.t;
+  rounds : int;
+  outcome : outcome;
+  base_facts : Fact.t list; (** the facts of the input instance [D] *)
+  new_facts_per_round : int list; (** newest round first *)
+}
+
+val is_model : result -> bool
+
+val instantiate :
+  Instance.t -> Eval.binding -> (string -> Element.id) -> Atom.t -> Fact.t
+(** Instantiate an atom under a binding; unbound variables go through the
+    supplied fresh-element function.  (Exposed for the naive model
+    search.) *)
+
+val run :
+  ?variant:variant ->
+  ?datalog_only:bool ->
+  ?max_rounds:int ->
+  ?max_elements:int ->
+  Theory.t -> Instance.t -> result
+(** Chase a copy of the instance (the input is not mutated). *)
+
+val run_depth : ?variant:variant -> depth:int -> Theory.t -> Instance.t -> result
+(** [Chase^depth(D, T)], unbounded in elements. *)
+
+val saturate_datalog : ?max_rounds:int -> Theory.t -> Instance.t -> result
+(** Fixpoint of the datalog rules only; never creates elements. *)
+
+type certainty =
+  | Entailed of int (** least chase depth at which the query held *)
+  | Not_entailed (** the chase reached a fixpoint without the query *)
+  | Unknown of int (** budget exhausted after this many rounds *)
+
+val certain :
+  ?max_rounds:int -> ?max_elements:int -> Theory.t -> Instance.t -> Cq.t ->
+  certainty
+(** Certain answering: does [Chase(D, T) |= q]? *)

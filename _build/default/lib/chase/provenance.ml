@@ -1,0 +1,184 @@
+(* Derivation provenance for the chase: re-derive a chased instance while
+   recording, for every fact, the first rule application that produced it
+   (its rule and the body facts it consumed).  [explain] unfolds the
+   records into a derivation tree, and [depth] is the derivation depth in
+   the sense of Section 1.1 — the quantity the BDD property bounds.
+
+   Implementation note: rather than threading recording hooks through the
+   chase engine, we replay rounds with the same semantics and record as we
+   go; the test suite checks that the replay reaches the same fixpoint as
+   Chase.run. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+
+type reason =
+  | Given (* a fact of the input instance D *)
+  | Derived of {
+      rule : string;
+      round : int;
+      body : Fact.t list; (* the instantiated body facts *)
+    }
+
+type t = {
+  instance : Instance.t;
+  reasons : reason Fact.Table.t;
+  rounds : int;
+  saturated : bool;
+}
+
+let reason_of t f = Fact.Table.find_opt t.reasons f
+
+(* Instantiated body facts of a binding. *)
+let body_facts inst binding atoms =
+  List.map
+    (fun a ->
+      let ids =
+        List.map
+          (function
+            | Term.Cst c -> (
+                match Instance.const_opt inst c with
+                | Some id -> id
+                | None -> invalid_arg "Provenance: unknown constant")
+            | Term.Var x -> (
+                match Smap.find_opt x binding with
+                | Some id -> id
+                | None -> invalid_arg "Provenance: unbound body variable"))
+          (Atom.args a)
+      in
+      Fact.make (Atom.pred a) (Array.of_list ids))
+    atoms
+
+let run ?(max_rounds = 64) ?(max_elements = 100_000) theory base =
+  let inst = Instance.copy base in
+  let reasons : reason Fact.Table.t = Fact.Table.create 256 in
+  Instance.iter_facts (fun f -> Fact.Table.replace reasons f Given) inst;
+  let record round rule binding f =
+    if not (Fact.Table.mem reasons f) then
+      Fact.Table.replace reasons f
+        (Derived
+           {
+             rule = Rule.name rule;
+             round;
+             body = body_facts inst binding (Rule.body rule);
+           })
+  in
+  let rec go i =
+    if i >= max_rounds || Instance.num_elements inst > max_elements then
+      (i, false)
+    else begin
+      let snapshot = Instance.copy inst in
+      let added = ref 0 in
+      let demanded = Hashtbl.create 32 in
+      List.iter
+        (fun rule ->
+          Eval.iter_solutions snapshot (Rule.body rule) (fun binding ->
+              if Rule.is_datalog rule then
+                List.iter
+                  (fun head_atom ->
+                    let f =
+                      Chase.instantiate inst binding
+                        (fun x -> invalid_arg ("unbound " ^ x))
+                        head_atom
+                    in
+                    if Instance.add_fact inst f then begin
+                      incr added;
+                      record (i + 1) rule binding f
+                    end)
+                  (Rule.head rule)
+              else begin
+                let frontier = Rule.frontier rule in
+                let init =
+                  Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
+                in
+                let satisfied =
+                  Eval.satisfiable ~init snapshot (Rule.head rule)
+                in
+                let key =
+                  Rule.name rule ^ "#"
+                  ^ String.concat ","
+                      (List.map
+                         (fun (x, id) -> x ^ ":" ^ string_of_int id)
+                         (Smap.bindings init))
+                in
+                if (not satisfied) && not (Hashtbl.mem demanded key) then begin
+                  Hashtbl.replace demanded key ();
+                  let fresh_cache = Hashtbl.create 4 in
+                  let fresh _x =
+                    match Hashtbl.find_opt fresh_cache _x with
+                    | Some id -> id
+                    | None ->
+                        let id =
+                          Instance.fresh_null inst ~birth:(i + 1)
+                            ~rule:(Rule.name rule) ~parent:None
+                        in
+                        Hashtbl.replace fresh_cache _x id;
+                        id
+                  in
+                  List.iter
+                    (fun head_atom ->
+                      let f = Chase.instantiate inst binding fresh head_atom in
+                      if Instance.add_fact inst f then begin
+                        incr added;
+                        record (i + 1) rule binding f
+                      end)
+                    (Rule.head rule)
+                end
+              end))
+        (Theory.rules theory);
+      if !added = 0 then (i, true) else go (i + 1)
+    end
+  in
+  let rounds, saturated = go 0 in
+  { instance = inst; reasons; rounds; saturated }
+
+(* A derivation tree for a fact. *)
+type tree =
+  | Leaf of Fact.t (* a given fact *)
+  | Node of Fact.t * string * tree list
+
+let rec explain ?(fuel = 10_000) t f =
+  if fuel <= 0 then None
+  else
+    match reason_of t f with
+    | None -> None
+    | Some Given -> Some (Leaf f)
+    | Some (Derived { rule; body; _ }) ->
+        let subs = List.map (explain ~fuel:(fuel - 1) t) body in
+        if List.for_all Option.is_some subs then
+          Some (Node (f, rule, List.map Option.get subs))
+        else None
+
+(* Derivation depth: 0 for given facts, 1 + max over the body otherwise.
+   This is the depth Chase^k measures, and BDD bounds per query. *)
+let depth t f =
+  let memo = Fact.Table.create 64 in
+  let rec go f =
+    match Fact.Table.find_opt memo f with
+    | Some d -> d
+    | None ->
+        Fact.Table.replace memo f 0 (* cycle guard *);
+        let d =
+          match reason_of t f with
+          | None | Some Given -> 0
+          | Some (Derived { body; _ }) ->
+              1 + List.fold_left (fun m b -> max m (go b)) 0 body
+        in
+        Fact.Table.replace memo f d;
+        d
+  in
+  go f
+
+let max_depth t =
+  List.fold_left
+    (fun m f -> max m (depth t f))
+    0
+    (Instance.facts t.instance)
+
+let rec pp_tree ppf = function
+  | Leaf f -> Fmt.pf ppf "%a (given)" Fact.pp f
+  | Node (f, rule, subs) ->
+      Fmt.pf ppf "@[<v2>%a by %s@,%a@]" Fact.pp f rule
+        Fmt.(list ~sep:cut pp_tree)
+        subs

@@ -1,0 +1,32 @@
+(** Derivation provenance: a recording replay of the chase.  For every
+    fact, the first rule application that produced it; derivation trees;
+    derivation depth (the quantity the BDD property bounds, Section 1.1). *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type reason =
+  | Given
+  | Derived of { rule : string; round : int; body : Fact.t list }
+
+type t = {
+  instance : Instance.t;
+  reasons : reason Fact.Table.t;
+  rounds : int;
+  saturated : bool;
+}
+
+val run : ?max_rounds:int -> ?max_elements:int -> Theory.t -> Instance.t -> t
+val reason_of : t -> Fact.t -> reason option
+
+type tree =
+  | Leaf of Fact.t
+  | Node of Fact.t * string * tree list
+
+val explain : ?fuel:int -> t -> Fact.t -> tree option
+
+val depth : t -> Fact.t -> int
+(** 0 for given facts, 1 + max over the recorded body otherwise. *)
+
+val max_depth : t -> int
+val pp_tree : tree Fmt.t

@@ -1,0 +1,99 @@
+(* The skeleton S(D, T) of a chase (Definition 12): all elements of
+   Chase(D, T), the atoms of D, and the atoms of tuple generating
+   predicates.  Flesh atoms — those produced by datalog rules — are
+   dropped.
+
+   Lemma 3 facts are checkable here: over a ♠5-normalized theory the
+   non-constant part of the skeleton is a forest of bounded degree. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type t = {
+  skeleton : Instance.t;
+  tgps : Pred.Set.t;
+  flesh_count : int;
+}
+
+let extract theory (res : Chase.result) =
+  let tgps = Theory.tgps theory in
+  let chased = res.Chase.instance in
+  let base = Fact.Set.of_list res.Chase.base_facts in
+  let skeleton = Instance.create ~capacity:(Instance.num_elements chased) () in
+  (* replicate the element table: element ids must be shared with the
+     chase so the two structures can be compared pointwise *)
+  let rec copy_elements i =
+    if i < Instance.num_elements chased then begin
+      (match Instance.info chased i with
+      | Element.Const c ->
+          let id = Instance.const skeleton c in
+          assert (id = i)
+      | Element.Null { birth; rule; parent } ->
+          let id = Instance.fresh_null skeleton ~birth ~rule ~parent in
+          assert (id = i));
+      copy_elements (i + 1)
+    end
+  in
+  copy_elements 0;
+  let flesh = ref 0 in
+  Instance.iter_facts
+    (fun f ->
+      if Fact.Set.mem f base || Pred.Set.mem (Fact.pred f) tgps then
+        ignore (Instance.add_fact skeleton f)
+      else incr flesh)
+    chased;
+  { skeleton; tgps; flesh_count = !flesh }
+
+(* Lemma 3 checks on the non-constant part of the skeleton. *)
+
+type forest_report = {
+  acyclic : bool;
+  in_degree_le_one : bool;
+  max_degree : int;
+}
+
+let forest_report sk =
+  let g = Bgraph.make sk.skeleton in
+  let inst = sk.skeleton in
+  let n = Instance.num_elements inst in
+  let in_deg = Array.make (max n 1) 0 in
+  for e = 0 to n - 1 do
+    if Instance.is_null inst e then
+      List.iter
+        (fun (_, d) -> if Instance.is_null inst d then in_deg.(d) <- in_deg.(d) + 1)
+        (Bgraph.out_edges g e)
+  done;
+  let in_degree_le_one =
+    Array.for_all (fun d -> d <= 1) in_deg
+  in
+  let acyclic = Bgraph.topo_order g <> None in
+  { acyclic; in_degree_le_one; max_degree = Bgraph.max_degree g }
+
+let is_forest sk =
+  let r = forest_report sk in
+  r.acyclic && r.in_degree_le_one
+
+(* Depth of each element in the skeleton forest: constants are at depth 0;
+   a null's depth is 1 + the depth of its parent (falling back to the
+   birth round when the parent chain is unavailable). *)
+let depths sk =
+  let inst = sk.skeleton in
+  let n = Instance.num_elements inst in
+  let depth = Array.make (max n 1) (-1) in
+  let rec compute e =
+    if depth.(e) >= 0 then depth.(e)
+    else begin
+      let d =
+        match Instance.info inst e with
+        | Element.Const _ -> 0
+        | Element.Null { parent = Some p; _ } -> 1 + compute p
+        | Element.Null { birth; parent = None; _ } -> birth
+      in
+      depth.(e) <- d;
+      d
+    end
+  in
+  for e = 0 to n - 1 do
+    ignore (compute e)
+  done;
+  depth

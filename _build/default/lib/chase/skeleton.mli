@@ -1,0 +1,29 @@
+(** The skeleton [S(D, T)] of a chase (Definition 12): all elements, the
+    atoms of [D], and the tuple-generating-predicate atoms; flesh atoms
+    (datalog-derived) are dropped.  Element ids are shared with the chase
+    result, so the two structures compare pointwise. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type t = {
+  skeleton : Instance.t;
+  tgps : Pred.Set.t;
+  flesh_count : int; (** how many chase atoms were dropped *)
+}
+
+val extract : Theory.t -> Chase.result -> t
+
+type forest_report = {
+  acyclic : bool;
+  in_degree_le_one : bool;
+  max_degree : int;
+}
+
+val forest_report : t -> forest_report
+(** The Lemma 3 facts, checked on the actual skeleton. *)
+
+val is_forest : t -> bool
+
+val depths : t -> int array
+(** Depth per element: constants at 0, nulls via the parent chain. *)

@@ -1,0 +1,150 @@
+(* Syntactic chase-termination criteria: weak acyclicity and joint
+   acyclicity.  These are classical companions of the BDD property and are
+   used in the test suite and the class zoo. *)
+
+open Bddfc_logic
+
+module Pos = struct
+  type t = Pred.t * int
+
+  let compare = compare
+end
+
+module Pos_set = Set.Make (Pos)
+
+(* Positions of variable [x] in the atom list. *)
+let positions_of x atoms =
+  List.concat_map
+    (fun a ->
+      List.mapi (fun i t -> (i, t)) (Atom.args a)
+      |> List.filter_map (fun (i, t) ->
+             if Term.equal t (Term.Var x) then Some (Atom.pred a, i) else None))
+    atoms
+
+(* ---------------- Weak acyclicity ---------------- *)
+
+type edge = { from_pos : Pos.t; to_pos : Pos.t; special : bool }
+
+let dependency_edges theory =
+  List.concat_map
+    (fun rule ->
+      let frontier = Rule.SS.elements (Rule.frontier rule) in
+      let exvars = Rule.SS.elements (Rule.existential_vars rule) in
+      List.concat_map
+        (fun x ->
+          let body_pos = positions_of x (Rule.body rule) in
+          let regular =
+            List.concat_map
+              (fun bp ->
+                List.map
+                  (fun hp -> { from_pos = bp; to_pos = hp; special = false })
+                  (positions_of x (Rule.head rule)))
+              body_pos
+          in
+          let special =
+            List.concat_map
+              (fun bp ->
+                List.concat_map
+                  (fun z ->
+                    List.map
+                      (fun hp -> { from_pos = bp; to_pos = hp; special = true })
+                      (positions_of z (Rule.head rule)))
+                  exvars)
+              body_pos
+          in
+          regular @ special)
+        frontier)
+    (Theory.rules theory)
+
+(* Reachability over the dependency graph. *)
+let reachable edges start =
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace adj e.from_pos
+        (e.to_pos
+        :: Option.value ~default:[] (Hashtbl.find_opt adj e.from_pos)))
+    edges;
+  let rec go seen = function
+    | [] -> seen
+    | p :: rest ->
+        if Pos_set.mem p seen then go seen rest
+        else
+          go (Pos_set.add p seen)
+            (Option.value ~default:[] (Hashtbl.find_opt adj p) @ rest)
+  in
+  go Pos_set.empty [ start ]
+
+(* Weakly acyclic iff no special edge lies on a cycle, i.e. no special edge
+   (u, v) with u reachable from v. *)
+let weakly_acyclic theory =
+  let edges = dependency_edges theory in
+  List.for_all
+    (fun e ->
+      (not e.special) || not (Pos_set.mem e.from_pos (reachable edges e.to_pos)))
+    edges
+
+(* ---------------- Joint acyclicity ---------------- *)
+
+(* For an existential variable z of rule r, Omega(z) is the smallest
+   position set containing the head positions of z and closed under: if
+   every body position of a frontier variable x of a rule r' lies in
+   Omega(z), then the head positions of x join Omega(z). *)
+let omega theory rule z =
+  let start = Pos_set.of_list (positions_of z (Rule.head rule)) in
+  let step om =
+    List.fold_left
+      (fun om r' ->
+        Rule.SS.fold
+          (fun x om ->
+            let body_pos = positions_of x (Rule.body r') in
+            if
+              body_pos <> []
+              && List.for_all (fun p -> Pos_set.mem p om) body_pos
+            then
+              Pos_set.union om (Pos_set.of_list (positions_of x (Rule.head r')))
+            else om)
+          (Rule.frontier r') om)
+      om (Theory.rules theory)
+  in
+  let rec fix om =
+    let om' = step om in
+    if Pos_set.equal om om' then om else fix om'
+  in
+  fix start
+
+let jointly_acyclic theory =
+  (* existential variables, tagged by their rule *)
+  let exvars =
+    List.concat_map
+      (fun r ->
+        List.map (fun z -> (r, z)) (Rule.SS.elements (Rule.existential_vars r)))
+      (Theory.rules theory)
+  in
+  let omegas = List.map (fun (r, z) -> ((r, z), omega theory r z)) exvars in
+  let om_of rz = List.assoc rz omegas in
+  (* edge (r,z) -> (r',z') iff some body variable of r' has all its body
+     positions inside Omega(z) *)
+  let depends (r', _z') (rz : Rule.t * string) =
+    let om = om_of rz in
+    Rule.SS.exists
+      (fun x ->
+        let ps = positions_of x (Rule.body r') in
+        ps <> [] && List.for_all (fun p -> Pos_set.mem p om) ps)
+      (Rule.body_vars r')
+  in
+  (* cycle detection over the exvar dependency graph *)
+  let nodes = exvars in
+  let adj n = List.filter (fun n' -> depends n' n) nodes in
+  let rec dfs color n =
+    match Hashtbl.find_opt color n with
+    | Some `Done -> true
+    | Some `Active -> false
+    | None ->
+        Hashtbl.replace color n `Active;
+        let ok = List.for_all (dfs color) (adj n) in
+        Hashtbl.replace color n `Done;
+        ok
+  in
+  let color = Hashtbl.create 16 in
+  List.for_all (dfs color) nodes

@@ -1,0 +1,20 @@
+(** Syntactic chase-termination criteria. *)
+
+open Bddfc_logic
+
+module Pos : sig
+  type t = Pred.t * int
+
+  val compare : t -> t -> int
+end
+
+module Pos_set : Set.S with type elt = Pos.t
+
+val weakly_acyclic : Theory.t -> bool
+(** Weak acyclicity: no special edge of the position dependency graph lies
+    on a cycle; guarantees chase termination. *)
+
+val jointly_acyclic : Theory.t -> bool
+(** Joint acyclicity: acyclicity of the existential-variable dependency
+    graph over the Omega position sets; strictly more permissive than weak
+    acyclicity. *)

@@ -1,0 +1,1 @@
+lib/classes/guarded.ml: Atom Bddfc_logic Cq Format Hashtbl List Pred Printf Rule Signature String Term Theory

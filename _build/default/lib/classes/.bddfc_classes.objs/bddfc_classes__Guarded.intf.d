@@ -1,0 +1,1 @@
+lib/classes/guarded.mli: Atom Bddfc_logic Pred Rule Theory

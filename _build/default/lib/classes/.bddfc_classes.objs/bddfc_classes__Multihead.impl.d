@@ -1,0 +1,1 @@
+lib/classes/multihead.ml: Atom Bddfc_logic List Pred Printf Rule Term Theory

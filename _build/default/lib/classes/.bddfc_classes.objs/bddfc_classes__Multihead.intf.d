@@ -1,0 +1,1 @@
+lib/classes/multihead.mli: Bddfc_logic Pred Theory

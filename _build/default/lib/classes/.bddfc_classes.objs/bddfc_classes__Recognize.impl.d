@@ -1,0 +1,1 @@
+lib/classes/recognize.ml: Atom Bddfc_chase Bddfc_logic Fmt List Rule Sticky Termination Theory

@@ -1,0 +1,1 @@
+lib/classes/recognize.mli: Atom Bddfc_logic Fmt Rule Theory

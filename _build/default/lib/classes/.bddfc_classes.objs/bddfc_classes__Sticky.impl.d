@@ -1,0 +1,1 @@
+lib/classes/sticky.ml: Atom Bddfc_logic List Pred Rule Set Term Theory

@@ -1,0 +1,1 @@
+lib/classes/sticky.mli: Bddfc_logic Pred Set Theory

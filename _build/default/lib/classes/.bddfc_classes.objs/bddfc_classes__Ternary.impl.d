@@ -1,0 +1,1 @@
+lib/classes/ternary.ml: Array Atom Bddfc_logic Bddfc_structure Cq Fact Instance List Pred Printf Rule Signature Term Theory

@@ -1,0 +1,1 @@
+lib/classes/ternary.mli: Bddfc_logic Bddfc_structure Cq Instance Pred Theory

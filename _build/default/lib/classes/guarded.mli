@@ -1,0 +1,29 @@
+(** The Section 5.6 compilation: guarded Datalog-exists programs are
+    "binary in disguise".  Parent links F_i, per-rule TGPs E_r/W_r,
+    ♠11-style body expansion, and monadization of wide non-TGP atoms with
+    synchronization rules.
+
+    Supported inputs (checked; {!Unsupported} otherwise): single-head
+    guarded rules, one existential variable per TGD placed last in the
+    head with pairwise-distinct variable arguments, argument-order respect
+    (step (i) as a check), no constants inside wide atoms. *)
+
+open Bddfc_logic
+
+exception Unsupported of string
+
+type result = {
+  theory : Theory.t;
+  max_parent_index : int;
+  monadic_preds : Pred.t list;
+}
+
+val guard_of : Rule.t -> Atom.t
+(** @raise Unsupported when the rule has no guard. *)
+
+val leading_var : Rule.t -> string
+(** The rightmost variable of the guard. *)
+
+val to_binary : ?max_copies:int -> Theory.t -> result
+(** @raise Unsupported when a precondition fails or the ♠11 expansion
+    exceeds [max_copies] rule copies. *)

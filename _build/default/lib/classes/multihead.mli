@@ -1,0 +1,14 @@
+(** Multi-head TGD elimination (Section 5.3, unrestricted arity): join the
+    head atoms into one fresh predicate over the head variables, plus
+    datalog splitters.  The paper notes this is impossible *within*
+    binary signatures, making the multi-head binary conjecture equivalent
+    to the full one. *)
+
+open Bddfc_logic
+
+type result = {
+  theory : Theory.t;
+  joins : (string * Pred.t) list; (** original rule name -> join predicate *)
+}
+
+val to_single_head : Theory.t -> result

@@ -1,0 +1,64 @@
+(* Syntactic recognizers for the Datalog-exists classes discussed in the
+   paper's introduction and Section 5. *)
+
+open Bddfc_logic
+open Bddfc_chase
+
+(* Linear: every rule has a single body atom (Rosati's IDs / [8]). *)
+let is_linear theory =
+  List.for_all
+    (fun r -> List.length (Rule.body r) = 1)
+    (Theory.rules theory)
+
+(* Guarded: some body atom contains every body variable ([1]). *)
+let rule_guard r =
+  let vars = Rule.body_vars r in
+  List.find_opt
+    (fun a -> Rule.SS.subset vars (Atom.var_set a))
+    (Rule.body r)
+
+let is_guarded theory =
+  List.for_all (fun r -> rule_guard r <> None) (Theory.rules theory)
+
+(* Binary signature: all predicates of arity <= 2 (Theorem 1's scope). *)
+let is_binary = Theory.is_binary
+
+(* The Theorem 3 class: every existential head Phi(y, z-bar) shares at
+   most one variable with the body. *)
+let is_frontier_one theory =
+  List.for_all
+    (fun r -> Rule.is_datalog r || Rule.is_frontier_one r)
+    (Theory.rules theory)
+
+type report = {
+  binary : bool;
+  single_head : bool;
+  linear : bool;
+  guarded : bool;
+  sticky : bool;
+  frontier_one : bool;
+  weakly_acyclic : bool;
+  jointly_acyclic : bool;
+  normalized : bool; (* the ♠5 discipline *)
+}
+
+let report theory =
+  {
+    binary = is_binary theory;
+    single_head = Theory.all_single_head theory;
+    linear = is_linear theory;
+    guarded = is_guarded theory;
+    sticky = Sticky.is_sticky theory;
+    frontier_one = is_frontier_one theory;
+    weakly_acyclic = Termination.weakly_acyclic theory;
+    jointly_acyclic = Termination.jointly_acyclic theory;
+    normalized = Theory.is_normalized theory;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>binary: %b@,single-head: %b@,linear: %b@,guarded: %b@,sticky: %b@,\
+     frontier-one: %b@,weakly acyclic: %b@,jointly acyclic: %b@,\
+     ♠5-normalized: %b@]"
+    r.binary r.single_head r.linear r.guarded r.sticky r.frontier_one
+    r.weakly_acyclic r.jointly_acyclic r.normalized

@@ -1,0 +1,93 @@
+(* Sticky Datalog-exists (Cali, Gottlob, Pieris [4]): the marking
+   procedure.
+
+   SMark(T): (base) for every rule, mark each body occurrence of every
+   variable that does not appear in the head; (propagation) if position
+   (p, i) is marked in some rule body, then for every rule with an atom of
+   predicate p in the *head*, mark every body occurrence of the variable
+   found at position i of that head atom.  Repeat to fixpoint.
+
+   T is sticky iff no marked variable occurs more than once in a rule
+   body. *)
+
+open Bddfc_logic
+
+module Pos = struct
+  type t = Pred.t * int
+
+  let compare = compare
+end
+
+module Pos_set = Set.Make (Pos)
+
+(* All (pred, position) pairs at which variable [x] occurs in [atoms]. *)
+let positions_of x atoms =
+  List.concat_map
+    (fun a ->
+      List.mapi (fun i t -> (i, t)) (Atom.args a)
+      |> List.filter_map (fun (i, t) ->
+             if Term.equal t (Term.Var x) then Some (Atom.pred a, i) else None))
+    atoms
+
+let marked_positions theory =
+  let base =
+    List.fold_left
+      (fun acc r ->
+        let head_vars = Rule.head_vars r in
+        Rule.SS.fold
+          (fun x acc ->
+            if Rule.SS.mem x head_vars then acc
+            else
+              List.fold_left
+                (fun acc p -> Pos_set.add p acc)
+                acc
+                (positions_of x (Rule.body r)))
+          (Rule.body_vars r) acc)
+      Pos_set.empty (Theory.rules theory)
+  in
+  let step marked =
+    List.fold_left
+      (fun marked r ->
+        List.fold_left
+          (fun marked head_atom ->
+            List.fold_left
+              (fun marked (i, t) ->
+                if Pos_set.mem (Atom.pred head_atom, i) marked then
+                  match t with
+                  | Term.Var x ->
+                      List.fold_left
+                        (fun m p -> Pos_set.add p m)
+                        marked
+                        (positions_of x (Rule.body r))
+                  | Term.Cst _ -> marked
+                else marked)
+              marked
+              (List.mapi (fun i t -> (i, t)) (Atom.args head_atom)))
+          marked (Rule.head r))
+      marked (Theory.rules theory)
+  in
+  let rec fix marked =
+    let marked' = step marked in
+    if Pos_set.equal marked marked' then marked else fix marked'
+  in
+  fix base
+
+(* Count body occurrences of [x] (total, across atoms). *)
+let occurrences x atoms =
+  List.fold_left
+    (fun n a ->
+      n
+      + List.length (List.filter (Term.equal (Term.Var x)) (Atom.args a)))
+    0 atoms
+
+let is_sticky theory =
+  let marked = marked_positions theory in
+  List.for_all
+    (fun r ->
+      Rule.SS.for_all
+        (fun x ->
+          let occs = positions_of x (Rule.body r) in
+          let is_marked = List.exists (fun p -> Pos_set.mem p marked) occs in
+          (not is_marked) || occurrences x (Rule.body r) <= 1)
+        (Rule.body_vars r))
+    (Theory.rules theory)

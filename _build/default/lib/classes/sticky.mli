@@ -1,0 +1,16 @@
+(** Sticky Datalog-exists (Cali, Gottlob, Pieris [4]): the marking
+    procedure.  A theory is sticky iff no marked variable occurs more than
+    once in a rule body. *)
+
+open Bddfc_logic
+
+module Pos : sig
+  type t = Pred.t * int
+
+  val compare : t -> t -> int
+end
+
+module Pos_set : Set.S with type elt = Pos.t
+
+val marked_positions : Theory.t -> Pos_set.t
+val is_sticky : Theory.t -> bool

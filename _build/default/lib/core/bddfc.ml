@@ -1,0 +1,21 @@
+(** The umbrella module: one import for the whole library.
+
+    {[
+      open Bddfc
+      let theory = Logic.Parser.parse_theory "e(X,Y) -> exists Z. e(Y,Z)."
+      let db = Structure.Instance.of_atoms (Logic.Parser.parse_atoms "e(a,b).")
+      let q = Logic.Parser.parse_query "? e(X,X)."
+      match Finitemodel.Pipeline.construct theory db q with
+      | Finitemodel.Pipeline.Model (cert, _) -> ...
+      | _ -> ...
+    ]} *)
+
+module Logic = Bddfc_logic
+module Structure = Bddfc_structure
+module Hom = Bddfc_hom
+module Chase = Bddfc_chase
+module Rewriting = Bddfc_rewriting
+module Ptp = Bddfc_ptp
+module Finitemodel = Bddfc_finitemodel
+module Classes = Bddfc_classes
+module Workload = Bddfc_workload

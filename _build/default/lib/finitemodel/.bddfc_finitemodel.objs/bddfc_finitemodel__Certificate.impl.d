@@ -1,0 +1,1 @@
+lib/finitemodel/certificate.ml: Bddfc_hom Bddfc_logic Bddfc_structure Cq Eval Fmt Instance List Model_check Theory

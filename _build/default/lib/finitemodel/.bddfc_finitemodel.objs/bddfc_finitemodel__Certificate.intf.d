@@ -1,0 +1,1 @@
+lib/finitemodel/certificate.mli: Bddfc_logic Bddfc_structure Cq Fmt Instance Model_check Theory

@@ -1,0 +1,1 @@
+lib/finitemodel/judge.ml: Bddfc_classes Bddfc_logic Bddfc_rewriting Bddfc_structure Certificate Fmt Instance Naive Pipeline Theory

@@ -1,0 +1,1 @@
+lib/finitemodel/judge.mli: Bddfc_classes Bddfc_logic Bddfc_rewriting Bddfc_structure Certificate Cq Fmt Instance Naive Pipeline Theory

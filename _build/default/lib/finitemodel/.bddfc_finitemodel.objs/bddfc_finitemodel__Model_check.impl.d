@@ -1,0 +1,1 @@
+lib/finitemodel/model_check.ml: Array Atom Bddfc_hom Bddfc_logic Bddfc_structure Element Eval Fact Fmt Instance List Option Rule Smap Term Theory

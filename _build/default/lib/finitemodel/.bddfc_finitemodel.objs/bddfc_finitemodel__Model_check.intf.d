@@ -1,0 +1,1 @@
+lib/finitemodel/model_check.mli: Bddfc_logic Bddfc_structure Element Fmt Instance Rule Theory

@@ -1,0 +1,1 @@
+lib/finitemodel/naive.ml: Array Bddfc_chase Bddfc_hom Bddfc_logic Bddfc_structure Chase Cq Eval Fact Instance List Model_check Pred Rule Signature Smap Theory

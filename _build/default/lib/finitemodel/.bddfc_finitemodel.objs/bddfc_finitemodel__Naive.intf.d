@@ -1,0 +1,1 @@
+lib/finitemodel/naive.mli: Bddfc_logic Bddfc_structure Cq Instance Theory

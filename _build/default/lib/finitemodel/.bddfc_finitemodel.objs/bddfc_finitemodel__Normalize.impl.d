@@ -1,0 +1,1 @@
+lib/finitemodel/normalize.ml: Atom Bddfc_logic Cq List Pred Printf Rule Signature Term Theory

@@ -1,0 +1,1 @@
+lib/finitemodel/normalize.mli: Bddfc_logic Cq Pred Theory

@@ -1,0 +1,1 @@
+lib/finitemodel/ordering.ml: Bddfc_hom Bddfc_logic Bddfc_structure Cq Element Eval Hom List Smap

@@ -1,0 +1,1 @@
+lib/finitemodel/ordering.mli: Bddfc_logic Bddfc_structure Cq Element Instance Stdlib

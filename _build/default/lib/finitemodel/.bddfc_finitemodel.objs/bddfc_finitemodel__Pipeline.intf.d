@@ -1,0 +1,1 @@
+lib/finitemodel/pipeline.mli: Bddfc_logic Bddfc_ptp Bddfc_structure Certificate Cq Instance Theory

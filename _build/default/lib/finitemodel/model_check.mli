@@ -1,0 +1,20 @@
+(** Model checking: every body homomorphism must have its head satisfied
+    (a witness for existential rules, the instantiated atoms for datalog
+    rules). *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type violation = {
+  rule : Rule.t;
+  binding : (string * Element.id) list;
+}
+
+val violations : ?limit:int -> Theory.t -> Instance.t -> violation list
+val is_model : Theory.t -> Instance.t -> bool
+
+val contains_database : db:Instance.t -> Instance.t -> bool
+(** Does the instance contain every fact of [db]?  Constants are matched
+    by name. *)
+
+val pp_violation : violation Fmt.t

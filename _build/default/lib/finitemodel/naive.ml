@@ -1,0 +1,187 @@
+(* Baselines for finite countermodel search.
+
+   [search] is a depth-first search over witness choices: saturate the
+   datalog rules, prune when the query holds, pick an unsatisfied
+   existential trigger, and branch over reusing each existing element as
+   the witness or creating a fresh one.  It finds small models quickly
+   when they exist and is the baseline the Theorem 2 pipeline is compared
+   against in the benchmarks.
+
+   [exhaustive_absence] is a genuinely exhaustive enumeration over all
+   structures with at most [max_extra] fresh elements: it *proves* that no
+   countermodel of that size exists (the executable content of the
+   Section 5.5 non-FC argument).  It is exponential in the number of
+   candidate facts and guards itself accordingly. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+open Bddfc_chase
+
+type search_result =
+  | Found of Instance.t
+  | Exhausted (* full search space explored: no model within bounds *)
+  | Budget_out
+
+type search_params = {
+  max_size : int; (* total element budget *)
+  max_nodes : int; (* DFS node budget *)
+  max_facts : int;
+}
+
+let default_search_params = { max_size = 12; max_nodes = 20_000; max_facts = 400 }
+
+exception Got_model of Instance.t
+exception Nodes_out
+
+(* First unsatisfied existential trigger, if any. *)
+let find_trigger theory inst =
+  let found = ref None in
+  (try
+     List.iter
+       (fun rule ->
+         if Rule.is_existential rule then
+           Eval.iter_solutions inst (Rule.body rule) (fun binding ->
+               let frontier = Rule.frontier rule in
+               let init =
+                 Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
+               in
+               if not (Eval.satisfiable ~init inst (Rule.head rule)) then begin
+                 found := Some (rule, binding);
+                 raise Exit
+               end))
+       (Theory.rules theory)
+   with Exit -> ());
+  !found
+
+let rec all_assignments elements = function
+  | [] -> [ [] ]
+  | z :: zs ->
+      let rest = all_assignments elements zs in
+      List.concat_map (fun e -> List.map (fun a -> (z, e) :: a) rest) elements
+
+let search ?(params = default_search_params) theory db (query : Cq.t) =
+  let nodes = ref 0 in
+  let complete = ref true in
+  let rec explore inst =
+    incr nodes;
+    if !nodes > params.max_nodes then raise Nodes_out;
+    let sat = Chase.saturate_datalog theory inst in
+    let inst = sat.Chase.instance in
+    if Eval.holds inst query then () (* dead branch *)
+    else if Instance.num_facts inst > params.max_facts then complete := false
+    else
+      match find_trigger theory inst with
+      | None -> raise (Got_model inst)
+      | Some (rule, binding) ->
+          let zs = Rule.SS.elements (Rule.existential_vars rule) in
+          let frontier = Rule.frontier rule in
+          let base_binding =
+            Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
+          in
+          let head_facts inst' assignment =
+            let full =
+              List.fold_left
+                (fun b (z, e) -> Smap.add z e b)
+                base_binding assignment
+            in
+            List.map
+              (fun a ->
+                Chase.instantiate inst' full
+                  (fun x -> invalid_arg ("Naive.search: unbound " ^ x))
+                  a)
+              (Rule.head rule)
+          in
+          (* reuse existing elements first: prefer small models *)
+          List.iter
+            (fun assignment ->
+              let child = Instance.copy inst in
+              List.iter
+                (fun f -> ignore (Instance.add_fact child f))
+                (head_facts child assignment);
+              explore child)
+            (all_assignments (Instance.elements inst) zs);
+          (* then a fresh witness *)
+          if Instance.num_elements inst < params.max_size then begin
+            let child = Instance.copy inst in
+            let assignment =
+              List.map
+                (fun z ->
+                  ( z,
+                    Instance.fresh_null child ~birth:0 ~rule:(Rule.name rule)
+                      ~parent:None ))
+                zs
+            in
+            List.iter
+              (fun f -> ignore (Instance.add_fact child f))
+              (head_facts child assignment);
+            explore child
+          end
+          else complete := false
+  in
+  match explore (Instance.copy db) with
+  | () -> if !complete then Exhausted else Budget_out
+  | exception Got_model m -> Found m
+  | exception Nodes_out -> Budget_out
+
+(* ----------------------------------------------------------------- *)
+(* Exhaustive enumeration                                             *)
+(* ----------------------------------------------------------------- *)
+
+type absence_result =
+  | No_model (* proved: no countermodel with this many extra elements *)
+  | Counter_model of Instance.t
+  | Too_large of int (* candidate fact count exceeded the guard *)
+
+let rec tuples elements k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun e -> List.map (fun t -> e :: t) (tuples elements (k - 1)))
+      elements
+
+(* Enumerate every superset of D over D's elements plus [max_extra] fresh
+   ones, and test each against the theory and the query. *)
+let exhaustive_absence ?(max_candidates = 24) ~max_extra theory db query =
+  let base = Instance.copy db in
+  for i = 1 to max_extra do
+    ignore (Instance.fresh_null base ~birth:0 ~rule:"extra" ~parent:None);
+    ignore i
+  done;
+  let elements = Instance.elements base in
+  let preds =
+    Pred.Set.elements (Signature.pred_set (Theory.signature theory))
+  in
+  let candidates =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun t ->
+            let f = Fact.make p (Array.of_list t) in
+            if Instance.mem_fact base f then None else Some f)
+          (tuples elements (Pred.arity p)))
+      preds
+  in
+  let k = List.length candidates in
+  if k > max_candidates then Too_large k
+  else begin
+    let arr = Array.of_list candidates in
+    let total = 1 lsl k in
+    let result = ref No_model in
+    (try
+       for mask = 0 to total - 1 do
+         let inst = Instance.copy base in
+         for i = 0 to k - 1 do
+           if mask land (1 lsl i) <> 0 then ignore (Instance.add_fact inst arr.(i))
+         done;
+         if
+           Model_check.is_model theory inst
+           && not (Eval.holds inst query)
+         then begin
+           result := Counter_model inst;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end

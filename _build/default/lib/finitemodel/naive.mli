@@ -1,0 +1,38 @@
+(** Baselines for finite countermodel search.
+
+    [search]: DFS over witness choices (saturate datalog, prune when the
+    query holds, branch over reuse-or-create for each unsatisfied
+    trigger).  Fast when small models exist; the baseline against which
+    the Theorem 2 pipeline is benchmarked.
+
+    [exhaustive_absence]: genuinely exhaustive enumeration, proving that
+    no countermodel with the given number of extra elements exists — the
+    executable content of the Section 5.5 non-FC argument. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type search_result =
+  | Found of Instance.t
+  | Exhausted (** the full bounded space was explored *)
+  | Budget_out
+
+type search_params = {
+  max_size : int;
+  max_nodes : int;
+  max_facts : int;
+}
+
+val default_search_params : search_params
+
+val search :
+  ?params:search_params -> Theory.t -> Instance.t -> Cq.t -> search_result
+
+type absence_result =
+  | No_model
+  | Counter_model of Instance.t
+  | Too_large of int (** candidate fact count exceeded the guard *)
+
+val exhaustive_absence :
+  ?max_candidates:int -> max_extra:int -> Theory.t -> Instance.t -> Cq.t ->
+  absence_result

@@ -1,0 +1,27 @@
+(** The ordering conjecture of Section 5.5 (Conjecture 2, refuted by the
+    paper): tooling to test whether a binary query behaves as a strict
+    total order on a sample of chase elements, and to exhibit the
+    pigeonhole identification that the "if" direction rests on. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type verdict = {
+  irreflexive : bool;
+  antisymmetric : bool;
+  transitive : bool;
+  total : bool;
+  is_strict_total_order : bool;
+}
+
+val check :
+  Instance.t -> Cq.t -> Element.id list -> (verdict, string) Stdlib.result
+(** [check inst phi sample]: does the two-answer-variable query [phi]
+    order the sample strictly and totally? *)
+
+val pigeonhole_violation :
+  Instance.t -> Cq.t -> model:Instance.t -> Element.id list ->
+  (Element.id * Element.id) option
+(** Two sample elements that a homomorphism into the candidate finite
+    model identifies — the pigeonhole pair forcing [exists x. phi(x, x)]
+    in the model. *)

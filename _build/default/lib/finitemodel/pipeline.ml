@@ -1,0 +1,273 @@
+(* The Theorem 2 construction, end to end:
+
+     1. hide the query inside the theory (♠4);
+     2. normalize existential heads into TGP form (♠5);
+     3. chase D to a prefix; if the hidden predicate appears, the query is
+        certain and no countermodel exists;
+     4. extract the skeleton S(D, T) (Definition 12);
+     5. compute kappa from the positive rewritings of the rule bodies
+        (Section 3.3) and color the skeleton naturally (Definition 14);
+     6. for increasing n: quotient the colored skeleton (Definition 5),
+        saturate with the datalog rules (Lemma 5 says no new elements are
+        needed), and verify;
+     7. return a *verified* certificate, or Unknown when budgets run out.
+
+   Soundness never depends on the heuristics: every produced model is
+   re-checked against T, D and Q by Certificate.verify. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+open Bddfc_chase
+open Bddfc_rewriting
+open Bddfc_ptp
+module Ptp = Bddfc_ptp
+
+type params = {
+  chase_depth : int;
+  depth_growth : int list; (* multipliers for retries at deeper prefixes *)
+  max_chase_elements : int;
+  n_schedule : int list; (* refinement depths to try, in order *)
+  refine_mode : Ptp.Refine.mode; (* ablation knob: Backward is the default *)
+  coloring_m : int option; (* override the kappa-derived m *)
+  rewrite_max_disjuncts : int;
+  rewrite_max_steps : int;
+  saturation_rounds : int;
+}
+
+let default_params =
+  {
+    chase_depth = 24;
+    depth_growth = [ 1; 3; 8 ];
+    max_chase_elements = 20_000;
+    n_schedule = [ 1; 2; 3; 4; 5; 6 ];
+    refine_mode = Ptp.Refine.Backward;
+    coloring_m = None;
+    rewrite_max_disjuncts = 100;
+    rewrite_max_steps = 2_000;
+    saturation_rounds = 10_000;
+  }
+
+type stats = {
+  chase_rounds : int;
+  chase_elements : int;
+  chase_fixpoint : bool;
+  skeleton_facts : int;
+  kappa : int;
+  kappa_complete : bool;
+  m_used : int;
+  n_used : int option;
+  model_size : int option;
+  attempts : (int * string) list; (* failed n with reason, newest first *)
+}
+
+type outcome =
+  | Model of Certificate.t * stats
+  | Query_entailed of int (* chase round at which the query held *)
+  | Unknown of string * stats
+
+let src = Logs.Src.create "bddfc.pipeline" ~doc:"Theorem 2 pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Restrict a model back to the signature of the original theory plus the
+   database: drops colors, TGP witnesses and the hidden query predicate. *)
+let original_signature_model theory db inst =
+  let keep =
+    Pred.Set.union
+      (Signature.pred_set (Theory.signature theory))
+      (Instance.preds db)
+  in
+  Instance.restrict_preds inst keep
+
+let rec construct ?(params = default_params) theory db (query : Cq.t) =
+  (* -------- steps 1 and 2: normalize -------- *)
+  let hidden = Normalize.hide_query theory query in
+  match Normalize.spade5 hidden.Normalize.theory with
+  | exception Normalize.Unsupported reason ->
+      Unknown
+        ( "normalization: " ^ reason,
+          {
+            chase_rounds = 0;
+            chase_elements = 0;
+            chase_fixpoint = false;
+            skeleton_facts = 0;
+            kappa = 0;
+            kappa_complete = false;
+            m_used = 0;
+            n_used = None;
+            model_size = None;
+            attempts = [];
+          } )
+  | split ->
+      let t2 = split.Normalize.theory in
+      (* Some theories advance one chase "level" only every few rounds
+         (witness creation, then joining, then datalog); a prefix too
+         shallow for the quotient's periodic tail shows up as unsatisfied
+         existential rules, so retry at the depths of the schedule. *)
+      let rec over_depths last = function
+        | [] -> last
+        | mult :: rest -> (
+            match
+              construct_at ~params ~hidden ~t2 theory db query
+                ~depth:(params.chase_depth * mult)
+            with
+            | Unknown _ as u when rest <> [] ->
+                over_depths u rest
+            | outcome -> outcome)
+      in
+      over_depths
+        (Unknown
+           ( "empty depth schedule",
+             {
+               chase_rounds = 0;
+               chase_elements = 0;
+               chase_fixpoint = false;
+               skeleton_facts = 0;
+               kappa = 0;
+               kappa_complete = false;
+               m_used = 0;
+               n_used = None;
+               model_size = None;
+               attempts = [];
+             } ))
+        (match params.depth_growth with [] -> [ 1 ] | l -> l)
+
+and construct_at ~params ~hidden ~t2 theory db query ~depth =
+      (* -------- step 3: chase prefix -------- *)
+      let chase =
+        Chase.run ~max_rounds:depth
+          ~max_elements:params.max_chase_elements t2 db
+      in
+      let f_atoms =
+        Instance.facts_with_pred chase.Chase.instance hidden.Normalize.query_pred
+      in
+      let stats0 =
+        {
+          chase_rounds = chase.Chase.rounds;
+          chase_elements = Instance.num_elements chase.Chase.instance;
+          chase_fixpoint = chase.Chase.outcome = Chase.Fixpoint;
+          skeleton_facts = 0;
+          kappa = 0;
+          kappa_complete = false;
+          m_used = 0;
+          n_used = None;
+          model_size = None;
+          attempts = [];
+        }
+      in
+      if f_atoms <> [] then begin
+        (* recover the exact derivation depth of the query itself *)
+        let depth =
+          match
+            Chase.certain ~max_rounds:depth
+              ~max_elements:params.max_chase_elements theory db query
+          with
+          | Chase.Entailed k -> k
+          | Chase.Not_entailed | Chase.Unknown _ -> chase.Chase.rounds
+        in
+        Query_entailed depth
+      end
+      else if chase.Chase.outcome = Chase.Fixpoint then begin
+        (* the chase is finite: it is itself the countermodel *)
+        let model =
+          original_signature_model theory db chase.Chase.instance
+        in
+        let cert =
+          { Certificate.theory; database = db; query; model }
+        in
+        if Certificate.is_valid cert then
+          Model
+            ( cert,
+              { stats0 with
+                model_size = Some (Instance.num_elements model);
+                n_used = Some 0;
+              } )
+        else Unknown ("finite chase failed verification (bug?)", stats0)
+      end
+      else begin
+        (* -------- step 4: skeleton -------- *)
+        let sk = Skeleton.extract t2 chase in
+        let stats0 =
+          { stats0 with
+            skeleton_facts = Instance.num_facts sk.Skeleton.skeleton;
+          }
+        in
+        (* -------- step 5: kappa and coloring -------- *)
+        let kap =
+          Rewrite.kappa ~max_disjuncts:params.rewrite_max_disjuncts
+            ~max_steps:params.rewrite_max_steps t2
+        in
+        let m =
+          match params.coloring_m with
+          | Some m -> m
+          | None ->
+              (* when the rewriting diverged, its partial kappa is an
+                 artifact of the budget, not a meaningful bound — fall
+                 back to the syntactic sizes *)
+              let base = max (Theory.max_body_vars t2) (Cq.num_vars query) in
+              if kap.Rewrite.all_complete then max kap.Rewrite.kappa base
+              else base
+        in
+        let stats0 =
+          { stats0 with
+            kappa = kap.Rewrite.kappa;
+            kappa_complete = kap.Rewrite.all_complete;
+            m_used = m;
+          }
+        in
+        let coloring = Coloring.natural ~m sk.Skeleton.skeleton in
+        (* -------- step 6: quotient, saturate, verify -------- *)
+        let attempts = ref [] in
+        let try_n n =
+          let g = Bgraph.make coloring.Coloring.colored in
+          let refinement = Refine.compute ~mode:params.refine_mode ~depth:n g in
+          let quotient =
+            Quotient.of_refinement coloring.Coloring.colored refinement
+          in
+          let m0 = Instance.copy quotient.Quotient.quotient in
+          let sat =
+            Chase.saturate_datalog ~max_rounds:params.saturation_rounds t2 m0
+          in
+          let m1 = sat.Chase.instance in
+          let fail reason =
+            attempts := (n, reason) :: !attempts;
+            Log.debug (fun f -> f "n=%d failed: %s" n reason);
+            None
+          in
+          if
+            Instance.facts_with_pred m1 hidden.Normalize.query_pred <> []
+          then fail "hidden predicate derived after saturation"
+          else if Eval.holds m1 query then fail "query satisfied in quotient"
+          else begin
+            match Model_check.violations ~limit:1 t2 m1 with
+            | _ :: _ -> fail "existential rule unsatisfied (Lemma 5 failed)"
+            | [] ->
+                let model = original_signature_model theory db m1 in
+                let cert =
+                  { Certificate.theory; database = db; query; model }
+                in
+                if Certificate.is_valid cert then Some (cert, n)
+                else fail "certificate verification failed"
+          end
+        in
+        let rec search = function
+          | [] ->
+              Unknown
+                ( "no refinement depth in the schedule produced a model",
+                  { stats0 with attempts = !attempts } )
+          | n :: rest -> (
+              match try_n n with
+              | Some (cert, n_used) ->
+                  Model
+                    ( cert,
+                      { stats0 with
+                        n_used = Some n_used;
+                        model_size =
+                          Some (Instance.num_elements cert.Certificate.model);
+                        attempts = !attempts;
+                      } )
+              | None -> search rest)
+        in
+        search params.n_schedule
+      end

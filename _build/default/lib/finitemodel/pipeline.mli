@@ -1,0 +1,52 @@
+(** The Theorem 2 construction, end to end: hide the query (♠4),
+    normalize (♠5), chase to a prefix, extract the skeleton
+    (Definition 12), compute kappa (Section 3.3), color naturally
+    (Definition 14), quotient at increasing depths (Definition 5),
+    datalog-saturate (Lemma 5), and verify.
+
+    Soundness never depends on the heuristics: every produced model is
+    re-checked by {!Certificate.verify}; budget exhaustion yields
+    [Unknown]. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type params = {
+  chase_depth : int;
+  depth_growth : int list;
+      (** multipliers over [chase_depth] for retries at deeper prefixes *)
+  max_chase_elements : int;
+  n_schedule : int list; (** refinement depths to try, in order *)
+  refine_mode : Bddfc_ptp.Refine.mode;
+      (** ablation knob; [Backward] (the default) is exact on skeletons *)
+  coloring_m : int option; (** override the kappa-derived m *)
+  rewrite_max_disjuncts : int;
+  rewrite_max_steps : int;
+  saturation_rounds : int;
+}
+
+val default_params : params
+
+type stats = {
+  chase_rounds : int;
+  chase_elements : int;
+  chase_fixpoint : bool;
+  skeleton_facts : int;
+  kappa : int;
+  kappa_complete : bool;
+  m_used : int;
+  n_used : int option; (** [Some 0] when the finite chase itself was the model *)
+  model_size : int option;
+  attempts : (int * string) list; (** failed depths with reasons *)
+}
+
+type outcome =
+  | Model of Certificate.t * stats
+  | Query_entailed of int (** chase depth at which the query held *)
+  | Unknown of string * stats
+
+val original_signature_model : Theory.t -> Instance.t -> Instance.t -> Instance.t
+(** Restrict a model to the original theory-and-database signature,
+    dropping colors, TGP witnesses and the hidden query predicate. *)
+
+val construct : ?params:params -> Theory.t -> Instance.t -> Cq.t -> outcome

@@ -1,0 +1,1 @@
+lib/hom/containment.ml: Atom Bddfc_logic Bddfc_structure Cq Eval Instance List Smap Subst Term

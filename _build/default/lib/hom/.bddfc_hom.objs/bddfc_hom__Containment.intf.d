@@ -1,0 +1,1 @@
+lib/hom/containment.mli: Bddfc_logic Bddfc_structure Cq Instance Subst

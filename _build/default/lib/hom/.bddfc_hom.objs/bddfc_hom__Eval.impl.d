@@ -1,0 +1,1 @@
+lib/hom/eval.ml: Array Atom Bddfc_logic Bddfc_structure Cq Element Fact Hashtbl Instance List Smap Term

@@ -1,0 +1,1 @@
+lib/hom/eval.mli: Atom Bddfc_logic Bddfc_structure Cq Element Instance Smap

@@ -1,0 +1,1 @@
+lib/hom/hom.ml: Array Atom Bddfc_logic Bddfc_structure Element Eval Fact Hashtbl Instance List Option Smap Term

@@ -1,0 +1,1 @@
+lib/hom/hom.mli: Bddfc_structure Element Instance

@@ -1,0 +1,1 @@
+lib/hom/pebble.ml: Array Bddfc_logic Bddfc_structure Element Fact Hashtbl Instance List Option Pred

@@ -1,0 +1,1 @@
+lib/hom/pebble.mli: Bddfc_structure Element Instance

@@ -1,0 +1,1 @@
+lib/hom/ptypes.mli: Bddfc_structure Element Instance

@@ -1,0 +1,75 @@
+(* Conjunctive-query containment via the canonical (frozen) instance.
+
+   [q1] is contained in [q2] (every answer of q1 is an answer of q2, over
+   all instances) iff there is a homomorphism from q2 into the frozen body
+   of q1 mapping answer variables of q2 to the frozen answer variables of
+   q1 in order. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+let frozen_instance (q : Cq.t) =
+  let atoms, frz = Cq.freeze q in
+  let inst = Instance.of_atoms atoms in
+  (inst, frz)
+
+(* [subsumes ~general ~specific]: does [general] hold whenever [specific]
+   does (i.e. specific is contained in general)?  Both must have the same
+   answer arity. *)
+let subsumes ~(general : Cq.t) ~(specific : Cq.t) =
+  if List.length (Cq.answer general) <> List.length (Cq.answer specific) then
+    false
+  else begin
+    let inst, frz = frozen_instance specific in
+    let init =
+      List.fold_left2
+        (fun acc xg xs ->
+          match Subst.find_opt xs frz with
+          | Some (Term.Cst c) -> (
+              match Instance.const_opt inst c with
+              | Some id -> Smap.add xg id acc
+              | None -> acc)
+          | _ -> acc)
+        Smap.empty (Cq.answer general) (Cq.answer specific)
+    in
+    Eval.satisfiable ~init inst (Cq.body general)
+  end
+
+let equivalent q1 q2 =
+  subsumes ~general:q1 ~specific:q2 && subsumes ~general:q2 ~specific:q1
+
+(* Core (minimization) of a CQ: remove atoms whose deletion preserves
+   equivalence.  The result is homomorphically equivalent to the input. *)
+let minimize (q : Cq.t) =
+  let removable body a =
+    let body' = List.filter (fun x -> x != a) body in
+    if body' = [] then false
+    else
+      let keep_answers =
+        List.for_all
+          (fun x -> Cq.SS.mem x (Atom.vars_of_atoms body'))
+          (Cq.answer q)
+      in
+      keep_answers
+      && subsumes ~general:q
+           ~specific:(Cq.make ~answer:(Cq.answer q) body')
+  in
+  let rec go body =
+    match List.find_opt (removable body) body with
+    | Some a -> go (List.filter (fun x -> x != a) body)
+    | None -> body
+  in
+  Cq.make ~answer:(Cq.answer q) (go (Cq.body q))
+
+(* UCQ-level subsumption pruning: keep only maximal disjuncts. *)
+let prune_ucq (qs : Cq.t list) =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | q :: rest ->
+        let dominated =
+          List.exists (fun q' -> subsumes ~general:q' ~specific:q) kept
+          || List.exists (fun q' -> subsumes ~general:q' ~specific:q) rest
+        in
+        if dominated then go kept rest else go (q :: kept) rest
+  in
+  go [] qs

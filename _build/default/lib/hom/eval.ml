@@ -1,0 +1,151 @@
+(* Conjunctive-query evaluation over instances: a backtracking join with a
+   greedy most-constrained-atom-first ordering, using the instance's
+   (predicate, position, element) index. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type binding = Element.id Smap.t
+
+exception Found
+
+(* Resolve an atom's arguments under a binding: [Ok ids] when fully ground,
+   otherwise the list of (position, resolution) pairs. *)
+type slot =
+  | Bound of Element.id
+  | Free of string
+
+let resolve_args inst binding atom =
+  let resolve = function
+    | Term.Cst c -> (
+        match Instance.const_opt inst c with
+        | Some id -> Some (Bound id)
+        | None -> None (* unknown constant: atom cannot match *))
+    | Term.Var x -> (
+        match Smap.find_opt x binding with
+        | Some id -> Some (Bound id)
+        | None -> Some (Free x))
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | t :: rest -> (
+        match resolve t with
+        | None -> None
+        | Some s -> go (s :: acc) rest)
+  in
+  go [] (Atom.args atom)
+
+(* Candidate facts for an atom under a binding, using the cheapest index. *)
+let candidates inst binding atom =
+  match resolve_args inst binding atom with
+  | None -> []
+  | Some slots ->
+      let p = Atom.pred atom in
+      let best = ref None in
+      List.iteri
+        (fun pos slot ->
+          match slot with
+          | Bound id ->
+              let l = Instance.facts_with_arg inst p pos id in
+              let n = List.length l in
+              (match !best with
+              | Some (m, _) when m <= n -> ()
+              | _ -> best := Some (n, l))
+          | Free _ -> ())
+        slots;
+      let pool =
+        match !best with Some (_, l) -> l | None -> Instance.facts_with_pred inst p
+      in
+      pool
+
+(* Extend [binding] by matching [atom] against fact [f]; None on clash. *)
+let extend inst binding atom f =
+  let rec go b ts ids =
+    match (ts, ids) with
+    | [], [] -> Some b
+    | t :: tr, id :: ir -> (
+        match t with
+        | Term.Cst c -> (
+            match Instance.const_opt inst c with
+            | Some cid when cid = id -> go b tr ir
+            | _ -> None)
+        | Term.Var x -> (
+            match Smap.find_opt x b with
+            | Some bound -> if bound = id then go b tr ir else None
+            | None -> go (Smap.add x id b) tr ir))
+    | _ -> None
+  in
+  go binding (Atom.args atom) (Array.to_list (Fact.args f))
+
+(* Estimated branching of an atom under a binding (for atom ordering). *)
+let branching inst binding atom =
+  List.length (candidates inst binding atom)
+
+let iter_solutions ?(init = Smap.empty) inst atoms yield =
+  let rec go binding remaining =
+    match remaining with
+    | [] -> yield binding
+    | _ ->
+        (* most-constrained atom first *)
+        let scored =
+          List.map (fun a -> (branching inst binding a, a)) remaining
+        in
+        let best_n, best =
+          List.fold_left
+            (fun ((bn, _) as acc) ((n, _) as cand) ->
+              if n < bn then cand else acc)
+            (List.hd scored) (List.tl scored)
+        in
+        if best_n = 0 then ()
+        else begin
+          let rest = List.filter (fun a -> a != best) remaining in
+          List.iter
+            (fun f ->
+              match extend inst binding best f with
+              | Some b -> go b rest
+              | None -> ())
+            (candidates inst binding best)
+        end
+  in
+  go init atoms
+
+let first_solution ?(init = Smap.empty) inst atoms =
+  let result = ref None in
+  (try
+     iter_solutions ~init inst atoms (fun b ->
+         result := Some b;
+         raise Found)
+   with Found -> ());
+  !result
+
+let satisfiable ?(init = Smap.empty) inst atoms =
+  first_solution ~init inst atoms <> None
+
+let holds ?(init = Smap.empty) inst (q : Cq.t) =
+  satisfiable ~init inst (Cq.body q)
+
+(* All answers to a query: distinct tuples of answer-variable images. *)
+let answers inst (q : Cq.t) =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  iter_solutions inst (Cq.body q) (fun b ->
+      let tuple =
+        List.map
+          (fun x ->
+            match Smap.find_opt x b with
+            | Some id -> id
+            | None -> invalid_arg "Eval.answers: unbound answer variable")
+          (Cq.answer q)
+      in
+      if not (Hashtbl.mem seen tuple) then begin
+        Hashtbl.replace seen tuple ();
+        out := tuple :: !out
+      end);
+  List.rev !out
+
+let count_answers inst q = List.length (answers inst q)
+
+(* Does the query hold with the distinguished free variable [y] bound to
+   element [e]?  (The paper's C |= Psi(x, e).) *)
+let holds_at inst (q : Cq.t) y e =
+  satisfiable ~init:(Smap.singleton y e) inst (Cq.body q)

@@ -1,0 +1,25 @@
+(** Conjunctive-query evaluation: a backtracking join with a greedy
+    most-constrained-atom-first ordering over the instance indexes. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type binding = Element.id Smap.t
+
+val iter_solutions :
+  ?init:binding -> Instance.t -> Atom.t list -> (binding -> unit) -> unit
+(** Enumerate all satisfying assignments of the atom list, extending the
+    initial binding.  Unknown constants simply fail to match. *)
+
+val first_solution : ?init:binding -> Instance.t -> Atom.t list -> binding option
+val satisfiable : ?init:binding -> Instance.t -> Atom.t list -> bool
+val holds : ?init:binding -> Instance.t -> Cq.t -> bool
+
+val answers : Instance.t -> Cq.t -> Element.id list list
+(** Distinct answer tuples, in the order of the query's answer variables. *)
+
+val count_answers : Instance.t -> Cq.t -> int
+
+val holds_at : Instance.t -> Cq.t -> string -> Element.id -> bool
+(** [holds_at inst q y e]: the paper's [C |= exists x. Psi(x, e)] — the
+    query with its free variable [y] bound to [e]. *)

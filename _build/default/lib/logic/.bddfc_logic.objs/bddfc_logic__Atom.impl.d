@@ -1,0 +1,1 @@
+lib/logic/atom.pp.ml: Fmt List Ppx_deriving_runtime Pred Printf Set Sset Term

@@ -1,0 +1,1 @@
+lib/logic/atom.pp.mli: Fmt Pred Set Sset Term

@@ -1,0 +1,1 @@
+lib/logic/cq.pp.ml: Atom Fmt Hashtbl List Option Ppx_deriving_runtime Printf Sset Subst Term

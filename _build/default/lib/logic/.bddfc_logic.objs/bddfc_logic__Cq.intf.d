@@ -1,0 +1,1 @@
+lib/logic/cq.pp.mli: Atom Fmt Pred Sset Subst

@@ -1,0 +1,1 @@
+lib/logic/parser.pp.ml: Atom Cq Fmt Format List Rule String Term Theory

@@ -1,0 +1,1 @@
+lib/logic/pred.pp.ml: Fmt Hashtbl Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/logic/pred.pp.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/logic/rule.pp.ml: Atom Cq Fmt List Ppx_deriving_runtime Pred Sset Subst Term

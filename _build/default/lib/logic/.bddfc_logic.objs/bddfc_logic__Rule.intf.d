@@ -1,0 +1,1 @@
+lib/logic/rule.pp.mli: Atom Cq Fmt Pred Sset

@@ -1,0 +1,1 @@
+lib/logic/signature.pp.ml: Atom Fmt List Pred Rule Sset

@@ -1,0 +1,1 @@
+lib/logic/signature.pp.mli: Atom Fmt Pred Rule Sset

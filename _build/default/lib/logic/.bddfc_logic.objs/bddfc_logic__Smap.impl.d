@@ -1,0 +1,1 @@
+lib/logic/smap.pp.ml: Map String

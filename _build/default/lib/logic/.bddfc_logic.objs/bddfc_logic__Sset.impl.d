@@ -1,0 +1,1 @@
+lib/logic/sset.pp.ml: Fmt Set String

@@ -1,0 +1,1 @@
+lib/logic/subst.pp.ml: Atom Fmt List Map String Term

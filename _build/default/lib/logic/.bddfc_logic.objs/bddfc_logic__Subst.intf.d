@@ -1,0 +1,1 @@
+lib/logic/subst.pp.mli: Atom Fmt Term

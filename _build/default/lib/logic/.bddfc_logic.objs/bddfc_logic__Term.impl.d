@@ -1,0 +1,1 @@
+lib/logic/term.pp.ml: Fmt Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/logic/theory.pp.ml: Atom Fmt List Pred Rule Signature Term

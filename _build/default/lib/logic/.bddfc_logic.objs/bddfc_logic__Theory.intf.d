@@ -1,0 +1,1 @@
+lib/logic/theory.pp.mli: Fmt Pred Rule Signature

@@ -1,0 +1,1 @@
+lib/logic/ucq.pp.ml: Cq Fmt List

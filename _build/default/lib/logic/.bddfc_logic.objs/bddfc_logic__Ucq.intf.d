@@ -1,0 +1,1 @@
+lib/logic/ucq.pp.mli: Cq Fmt Subst

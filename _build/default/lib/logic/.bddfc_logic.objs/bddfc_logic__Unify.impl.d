@@ -1,0 +1,1 @@
+lib/logic/unify.pp.ml: Atom List Option Pred String Subst Term

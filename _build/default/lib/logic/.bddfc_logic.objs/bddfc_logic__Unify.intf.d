@@ -1,0 +1,1 @@
+lib/logic/unify.pp.mli: Atom Subst Term

@@ -1,0 +1,51 @@
+(* Relational atoms [p(t1, ..., tk)]. *)
+
+module SS = Sset
+
+type t = { pred : Pred.t; args : Term.t list } [@@deriving eq, ord]
+
+let make pred args =
+  if List.length args <> Pred.arity pred then
+    invalid_arg
+      (Printf.sprintf "Atom.make: %s expects %d arguments, got %d"
+         (Pred.name pred) (Pred.arity pred) (List.length args));
+  { pred; args }
+
+let app name args = make (Pred.make name (List.length args)) args
+let pred a = a.pred
+let args a = a.args
+let arity a = Pred.arity a.pred
+
+let vars a =
+  List.filter_map Term.as_var a.args
+
+let var_set a = SS.of_list (vars a)
+
+let consts a = List.filter_map Term.as_cst a.args
+
+let is_ground a = List.for_all Term.is_cst a.args
+
+let map_terms f a = { a with args = List.map f a.args }
+
+let vars_of_atoms atoms =
+  List.fold_left (fun acc a -> SS.union acc (var_set a)) SS.empty atoms
+
+let consts_of_atoms atoms =
+  List.fold_left
+    (fun acc a -> SS.union acc (SS.of_list (consts a)))
+    SS.empty atoms
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" (Pred.name a.pred)
+    Fmt.(list ~sep:(any ",") Term.pp)
+    a.args
+
+let show = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

@@ -1,0 +1,28 @@
+(** Relational atoms [p(t1, ..., tk)]. *)
+
+module SS = Sset
+
+type t = { pred : Pred.t; args : Term.t list }
+
+val make : Pred.t -> Term.t list -> t
+(** @raise Invalid_argument when the argument count differs from the arity. *)
+
+val app : string -> Term.t list -> t
+(** [app name args] infers the predicate from [name] and [List.length args]. *)
+
+val pred : t -> Pred.t
+val args : t -> Term.t list
+val arity : t -> int
+val vars : t -> string list
+val var_set : t -> SS.t
+val consts : t -> string list
+val is_ground : t -> bool
+val map_terms : (Term.t -> Term.t) -> t -> t
+val vars_of_atoms : t list -> SS.t
+val consts_of_atoms : t list -> SS.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val show : t -> string
+
+module Set : Set.S with type elt = t

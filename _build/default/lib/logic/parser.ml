@@ -1,0 +1,264 @@
+(* A small surface syntax for Datalog-exists programs, Prolog-flavoured:
+
+     % Example 1 from the paper
+     e(X,Y) -> exists Z. e(Y,Z).
+     e(X,Y), e(Y,Z), e(Z,X) -> exists T. u(X,T).
+     e(a,b).                  % a fact (ground atom)
+     ? e(X,Y), u(Y,Y).        % a Boolean query
+     ?(X) e(X,Y).             % a query with answer variables
+
+   Identifiers starting with an uppercase letter (or '_') are variables;
+   lowercase identifiers are predicate names or constants depending on
+   position.  '%' starts a comment running to end of line. *)
+
+type program = {
+  rules : Rule.t list;
+  facts : Atom.t list;
+  queries : Cq.t list;
+}
+
+exception Parse_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string (* lowercase identifier *)
+  | Tvar of string (* uppercase / underscore identifier *)
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tarrow
+  | Tdot
+  | Tquestion
+  | Texists
+  | Teof
+
+let pp_token ppf = function
+  | Tident s -> Fmt.pf ppf "identifier %s" s
+  | Tvar s -> Fmt.pf ppf "variable %s" s
+  | Tlparen -> Fmt.string ppf "'('"
+  | Trparen -> Fmt.string ppf "')'"
+  | Tcomma -> Fmt.string ppf "','"
+  | Tarrow -> Fmt.string ppf "'->'"
+  | Tdot -> Fmt.string ppf "'.'"
+  | Tquestion -> Fmt.string ppf "'?'"
+  | Texists -> Fmt.string ppf "'exists'"
+  | Teof -> Fmt.string ppf "end of input"
+
+let is_ident_start c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || ('0' <= c && c <= '9') || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (emit Tlparen; incr i)
+    else if c = ')' then (emit Trparen; incr i)
+    else if c = ',' then (emit Tcomma; incr i)
+    else if c = '.' then (emit Tdot; incr i)
+    else if c = '?' then (emit Tquestion; incr i)
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      emit Tarrow;
+      i := !i + 2
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if String.equal word "exists" then emit Texists
+      else if c = '_' || (c >= 'A' && c <= 'Z') then emit (Tvar word)
+      else emit (Tident word)
+    end
+    else error "line %d: unexpected character %C" !line c
+  done;
+  emit Teof;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else error "line %d: expected %a but found %a" (line_of st) pp_token tok
+    pp_token got
+
+let parse_term st =
+  match peek st with
+  | Tvar x ->
+      advance st;
+      Term.Var x
+  | Tident c ->
+      advance st;
+      Term.Cst c
+  | t -> error "line %d: expected a term, found %a" (line_of st) pp_token t
+
+let parse_atom st =
+  match peek st with
+  | Tident name ->
+      advance st;
+      if peek st = Tlparen then begin
+        advance st;
+        let rec args acc =
+          let t = parse_term st in
+          match peek st with
+          | Tcomma ->
+              advance st;
+              args (t :: acc)
+          | Trparen ->
+              advance st;
+              List.rev (t :: acc)
+          | tok ->
+              error "line %d: expected ',' or ')', found %a" (line_of st)
+                pp_token tok
+        in
+        Atom.app name (args [])
+      end
+      else Atom.app name [] (* propositional atom *)
+  | t -> error "line %d: expected an atom, found %a" (line_of st) pp_token t
+
+let parse_atom_list st =
+  let rec go acc =
+    let a = parse_atom st in
+    if peek st = Tcomma then begin
+      advance st;
+      go (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  go []
+
+let parse_var_list st =
+  let rec go acc =
+    match peek st with
+    | Tvar x -> (
+        advance st;
+        match peek st with
+        | Tcomma ->
+            advance st;
+            go (x :: acc)
+        | _ -> List.rev (x :: acc))
+    | t -> error "line %d: expected a variable, found %a" (line_of st) pp_token t
+  in
+  go []
+
+(* A statement is a fact, a rule or a query, terminated by '.'. *)
+let parse_statement st =
+  match peek st with
+  | Tquestion ->
+      advance st;
+      let answer =
+        if peek st = Tlparen then begin
+          advance st;
+          let vs = parse_var_list st in
+          expect st Trparen;
+          vs
+        end
+        else []
+      in
+      let body = parse_atom_list st in
+      expect st Tdot;
+      `Query (Cq.make ~answer body)
+  | _ -> (
+      let atoms = parse_atom_list st in
+      match peek st with
+      | Tdot ->
+          advance st;
+          let ground = List.for_all Atom.is_ground atoms in
+          if not ground then
+            error "line %d: facts must be ground" (line_of st);
+          `Facts atoms
+      | Tarrow ->
+          advance st;
+          let _exvars =
+            if peek st = Texists then begin
+              advance st;
+              let vs = parse_var_list st in
+              expect st Tdot;
+              vs
+            end
+            else []
+          in
+          let head = parse_atom_list st in
+          expect st Tdot;
+          `Rule (Rule.make ~body:atoms ~head ())
+      | t ->
+          error "line %d: expected '.' or '->', found %a" (line_of st)
+            pp_token t)
+
+let parse_program src =
+  let st = { toks = tokenize src } in
+  let rec go rules facts queries =
+    if peek st = Teof then
+      { rules = List.rev rules;
+        facts = List.rev facts;
+        queries = List.rev queries;
+      }
+    else
+      match parse_statement st with
+      | `Rule r -> go (r :: rules) facts queries
+      | `Facts fs -> go rules (List.rev_append fs facts) queries
+      | `Query q -> go rules facts (q :: queries)
+  in
+  go [] [] []
+
+let parse_rule src =
+  match (parse_program src).rules with
+  | [ r ] -> r
+  | _ -> error "parse_rule: expected exactly one rule"
+
+let parse_theory src = Theory.make (parse_program src).rules
+
+let parse_query src =
+  match (parse_program src).queries with
+  | [ q ] -> q
+  | _ -> error "parse_query: expected exactly one query"
+
+let parse_atoms src =
+  let p = parse_program src in
+  if p.rules <> [] || p.queries <> [] then
+    error "parse_atoms: expected facts only";
+  p.facts
+
+let pp_program ppf p =
+  let pp_fact ppf a = Fmt.pf ppf "%a." Atom.pp a in
+  let pp_rule ppf r = Fmt.pf ppf "%a." Rule.pp r in
+  let pp_query ppf q = Fmt.pf ppf "%a." Cq.pp q in
+  Fmt.pf ppf "@[<v>%a@,%a@,%a@]"
+    Fmt.(list ~sep:cut pp_rule)
+    p.rules
+    Fmt.(list ~sep:cut pp_fact)
+    p.facts
+    Fmt.(list ~sep:cut pp_query)
+    p.queries

@@ -1,0 +1,25 @@
+(* Predicate symbols: a name paired with an arity.  Two predicates are the
+   same symbol iff both coincide; [p/1] and [p/2] are distinct symbols. *)
+
+type t = { name : string; arity : int } [@@deriving eq, ord]
+
+let make name arity =
+  if arity < 0 then invalid_arg "Pred.make: negative arity";
+  { name; arity }
+
+let name p = p.name
+let arity p = p.arity
+let is_unary p = p.arity = 1
+let is_binary p = p.arity = 2
+let hash p = Hashtbl.hash (p.name, p.arity)
+let pp ppf p = Fmt.pf ppf "%s/%d" p.name p.arity
+let show = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,20 @@
+(** Predicate symbols (relation names with arities). *)
+
+type t = { name : string; arity : int }
+
+val make : string -> int -> t
+(** [make name arity] builds a predicate symbol.
+    @raise Invalid_argument if [arity < 0]. *)
+
+val name : t -> string
+val arity : t -> int
+val is_unary : t -> bool
+val is_binary : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val show : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

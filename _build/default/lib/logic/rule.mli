@@ -1,0 +1,33 @@
+(** Rules: existential TGDs and plain datalog rules.  The existential
+    variables of a rule are exactly the head variables absent from the
+    body; a rule without existential variables is a datalog rule. *)
+
+module SS = Sset
+
+type t = { name : string; body : Atom.t list; head : Atom.t list }
+
+val make : ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> t
+(** @raise Invalid_argument on empty body or head.  Unnamed rules receive a
+    generated name [rN]. *)
+
+val name : t -> string
+val body : t -> Atom.t list
+val head : t -> Atom.t list
+val body_vars : t -> SS.t
+val head_vars : t -> SS.t
+val existential_vars : t -> SS.t
+val frontier : t -> SS.t
+val is_datalog : t -> bool
+val is_existential : t -> bool
+val is_single_head : t -> bool
+val is_frontier_one : t -> bool
+val preds : t -> Pred.Set.t
+val body_preds : t -> Pred.Set.t
+val head_preds : t -> Pred.Set.t
+val consts : t -> Atom.SS.t
+val rename_apart : t -> t
+val body_query : t -> Cq.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val show : t -> string

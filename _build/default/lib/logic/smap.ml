@@ -1,0 +1,3 @@
+(* The single string-map instance shared across the library. *)
+
+include Map.Make (String)

@@ -1,0 +1,7 @@
+(* The single string-set instance shared across the library, so that
+   variable/constant sets returned by different modules are compatible. *)
+
+include Set.Make (String)
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (elements s)

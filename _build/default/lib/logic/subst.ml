@@ -1,0 +1,47 @@
+(* Substitutions: finite maps from variable names to terms. *)
+
+module SM = Map.Make (String)
+
+type t = Term.t SM.t
+
+let empty = SM.empty
+let is_empty = SM.is_empty
+let singleton x t = SM.singleton x t
+let bindings = SM.bindings
+let of_bindings l = List.fold_left (fun s (x, t) -> SM.add x t s) SM.empty l
+let find_opt x s = SM.find_opt x s
+let mem x s = SM.mem x s
+let add x t s = SM.add x t s
+let remove x s = SM.remove x s
+let domain s = List.map fst (SM.bindings s)
+
+let apply_term s = function
+  | Term.Var x as t -> ( match SM.find_opt x s with Some t' -> t' | None -> t)
+  | Term.Cst _ as t -> t
+
+let rec resolve_term s t =
+  match t with
+  | Term.Cst _ -> t
+  | Term.Var x -> (
+      match SM.find_opt x s with
+      | None -> t
+      | Some t' -> if Term.equal t t' then t else resolve_term s t')
+
+let apply_atom s a = Atom.map_terms (apply_term s) a
+let apply_atoms s atoms = List.map (apply_atom s) atoms
+
+(* [compose s1 s2] is the substitution applying [s1] first, then [s2]. *)
+let compose s1 s2 =
+  let s1' = SM.map (apply_term s2) s1 in
+  SM.union (fun _ t _ -> Some t) s1' s2
+
+let restrict vars s =
+  SM.filter (fun x _ -> List.mem x vars) s
+
+let equal = SM.equal Term.equal
+
+let pp ppf s =
+  let pp_binding ppf (x, t) = Fmt.pf ppf "%s:=%a" x Term.pp t in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) (SM.bindings s)
+
+let show = Fmt.to_to_string pp

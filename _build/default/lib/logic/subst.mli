@@ -1,0 +1,33 @@
+(** Substitutions: finite maps from variable names to terms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : string -> Term.t -> t
+val bindings : t -> (string * Term.t) list
+val of_bindings : (string * Term.t) list -> t
+val find_opt : string -> t -> Term.t option
+val mem : string -> t -> bool
+val add : string -> Term.t -> t -> t
+val remove : string -> t -> t
+val domain : t -> string list
+
+val apply_term : t -> Term.t -> Term.t
+(** Single-step application: a bound variable is replaced by its image;
+    the image is not substituted into again. *)
+
+val resolve_term : t -> Term.t -> Term.t
+(** Transitive application, for triangular substitutions built by
+    unification.  Cycles of the shape [x := x] terminate. *)
+
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_atoms : t -> Atom.t list -> Atom.t list
+
+val compose : t -> t -> t
+(** [compose s1 s2] applies [s1] first, then [s2]. *)
+
+val restrict : string list -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val show : t -> string

@@ -1,0 +1,38 @@
+(* Unions of conjunctive queries.  The paper's queries ("whenever we say
+   query we mean a conjunctive query"; rewritings are UCQs). *)
+
+type t = Cq.t list
+
+let of_cq q = [ q ]
+let disjuncts (u : t) = u
+let size = List.length
+let is_empty u = u = []
+
+let answer = function
+  | [] -> []
+  | q :: _ -> Cq.answer q
+
+(* Well-formedness: all disjuncts share the answer arity. *)
+let well_formed = function
+  | [] -> true
+  | q :: rest ->
+      let n = List.length (Cq.answer q) in
+      List.for_all (fun q' -> List.length (Cq.answer q') = n) rest
+
+let max_vars u = List.fold_left (fun m q -> max m (Cq.num_vars q)) 0 u
+let total_atoms u = List.fold_left (fun n q -> n + Cq.num_atoms q) 0 u
+
+let map f u = List.map f u
+let union (u1 : t) (u2 : t) : t = u1 @ u2
+
+let apply_subst s u = List.map (Cq.apply_subst s) u
+
+let pp ppf u =
+  match u with
+  | [] -> Fmt.string ppf "false"
+  | _ ->
+      Fmt.pf ppf "@[<v>%a@]"
+        Fmt.(list ~sep:(any "@,| ") Cq.pp)
+        u
+
+let show = Fmt.to_to_string pp

@@ -1,0 +1,20 @@
+(** Unions of conjunctive queries (the shape of positive first-order
+    rewritings). *)
+
+type t = Cq.t list
+
+val of_cq : Cq.t -> t
+val disjuncts : t -> Cq.t list
+val size : t -> int
+val is_empty : t -> bool
+val answer : t -> string list
+val well_formed : t -> bool
+(** All disjuncts share the answer arity. *)
+
+val max_vars : t -> int
+val total_atoms : t -> int
+val map : (Cq.t -> Cq.t) -> t -> t
+val union : t -> t -> t
+val apply_subst : Subst.t -> t -> t
+val pp : t Fmt.t
+val show : t -> string

@@ -1,0 +1,1 @@
+lib/ptp/coloring.ml: Array Bddfc_logic Bddfc_structure Bgraph Canonical Element Fact Hashtbl Instance List Pred Printf String

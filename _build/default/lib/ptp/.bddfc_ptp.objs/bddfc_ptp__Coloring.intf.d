@@ -1,0 +1,1 @@
+lib/ptp/coloring.mli: Bddfc_logic Bddfc_structure Element Instance Pred

@@ -1,0 +1,1 @@
+lib/ptp/conservative.ml: Bddfc_hom Bddfc_structure Bgraph Coloring Element Instance List Ptypes Quotient Refine

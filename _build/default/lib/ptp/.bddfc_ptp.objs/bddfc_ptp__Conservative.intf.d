@@ -1,0 +1,1 @@
+lib/ptp/conservative.mli: Bddfc_structure Coloring Element Instance Quotient

@@ -1,0 +1,1 @@
+lib/ptp/converge.ml: Atom Bddfc_hom Bddfc_logic Bddfc_structure Bgraph Coloring Cq Eval Fmt Instance List Pred Quotient Refine Term

@@ -1,0 +1,1 @@
+lib/ptp/converge.mli: Bddfc_logic Bddfc_structure Coloring Cq Fmt Instance Pred Refine

@@ -1,0 +1,1 @@
+lib/ptp/quotient.ml: Array Bddfc_structure Element Fact Instance List Refine

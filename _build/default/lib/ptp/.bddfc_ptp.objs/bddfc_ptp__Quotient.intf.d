@@ -1,0 +1,1 @@
+lib/ptp/quotient.mli: Bddfc_structure Element Instance Refine

@@ -1,0 +1,1 @@
+lib/ptp/refine.ml: Array Bddfc_logic Bddfc_structure Bgraph Hashtbl Instance List Option Pred Printf String

@@ -1,0 +1,1 @@
+lib/ptp/refine.mli: Bddfc_structure Bgraph Element

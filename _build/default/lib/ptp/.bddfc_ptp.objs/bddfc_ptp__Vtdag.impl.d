@@ -1,0 +1,1 @@
+lib/ptp/vtdag.ml: Bddfc_logic Bddfc_structure Bgraph Element Fmt Hashtbl Instance List Option Pred

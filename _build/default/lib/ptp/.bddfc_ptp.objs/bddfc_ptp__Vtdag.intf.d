@@ -1,0 +1,1 @@
+lib/ptp/vtdag.mli: Bddfc_logic Bddfc_structure Element Fmt Instance Pred

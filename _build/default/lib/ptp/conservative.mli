@@ -1,0 +1,28 @@
+(** Conservativity (Definitions 8 and 9): a coloring is n-conservative up
+    to size m when the quotient map preserves positive m-types over the
+    base signature pointwise.  The preservation check is exact
+    ({!Bddfc_hom.Ptypes}); the quotient can be built exactly
+    (Definition 5 verbatim) or by refinement. *)
+
+open Bddfc_structure
+
+type check = {
+  conservative : bool;
+  failures : (Element.id * [ `Gained | `Lost ]) list;
+}
+
+val quotient_exact : n:int -> Coloring.t -> Quotient.t
+(** M_n(C-bar) by Definition 5: classes are exact positive-n-type
+    equivalence over the colored signature.  Exponential in n. *)
+
+val quotient_refine : n:int -> Coloring.t -> Quotient.t
+
+val check_quotient : m:int -> Instance.t -> Quotient.t -> check
+val check_exact : m:int -> n:int -> Instance.t -> Coloring.t -> check
+val check_refine : m:int -> n:int -> Instance.t -> Coloring.t -> check
+
+val find_conservative_n :
+  ?quotient:[ `Exact | `Refine ] ->
+  m:int -> max_n:int -> Instance.t -> Coloring.t -> int option
+(** The least n making the coloring n-conservative up to m, mirroring the
+    existential quantifier of Definition 9. *)

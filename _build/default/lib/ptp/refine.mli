@@ -1,0 +1,30 @@
+(** Bounded-depth directional refinement: the scalable equivalence used to
+    build quotient structures (Definition 5).  Initial classes distinguish
+    constants by name (Remark 1) and unary predicates (colors included
+    when materialized); each step refines by the *sets* of
+    (relation, direction, class) triples of the neighbours.  Exact for
+    bounded-depth directional tree types; validated against the exact
+    {!Bddfc_hom.Ptypes} in the test suite; everything built on top is
+    re-verified by model checking. *)
+
+open Bddfc_structure
+
+type mode =
+  | Backward (** refine along incoming edges only — exact on chase
+                 skeletons, whose backward structure is final *)
+  | Forward
+  | Bidirectional
+
+type t = {
+  graph : Bgraph.t;
+  mode : mode;
+  depth : int;
+  cls : int array;
+  num_classes : int;
+}
+
+val compute : ?mode:mode -> depth:int -> Bgraph.t -> t
+val class_of : t -> Element.id -> int
+val num_classes : t -> int
+val equivalent : t -> Element.id -> Element.id -> bool
+val classes : t -> (int * Element.id list) list

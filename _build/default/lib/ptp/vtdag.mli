@@ -1,0 +1,18 @@
+(** Very Treelike DAGs (Definitions 10 and 11). *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type violation =
+  | Cyclic
+  | Multiple_predecessors of Pred.t * Element.id
+  | Not_clique of Element.id * Element.id * Element.id
+
+val check : Instance.t -> violation list
+val is_vtdag : Instance.t -> bool
+
+val is_forest : Instance.t -> bool
+(** The cheaper check covering chase skeletons of ♠5-normalized theories:
+    acyclic with at most one non-constant predecessor overall. *)
+
+val pp_violation : violation Fmt.t

@@ -1,0 +1,1 @@
+lib/rewriting/piece.ml: Atom Bddfc_logic Cq List Pred Rule String Subst Term Unify

@@ -1,0 +1,1 @@
+lib/rewriting/piece.mli: Bddfc_logic Cq Rule

@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.ml: Atom Bddfc_hom Bddfc_logic Containment Cq Eval List Logs Piece Queue Rule String Subst Term Theory

@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.mli: Bddfc_logic Bddfc_structure Cq Instance Theory

@@ -1,0 +1,15 @@
+(** Piece unification: one backward-rewriting step of a CQ with a
+    single-head rule.  A piece is a subset of query atoms unified with the
+    head under the classical soundness conditions on existential
+    variables (no constants, no frontier merging, class confined to the
+    piece).  Answer variables are expected to be frozen into constants by
+    the caller. *)
+
+open Bddfc_logic
+
+val subsets_upto : int -> 'a list -> 'a list list
+(** Nonempty subsets of size at most the bound. *)
+
+val one_steps : ?max_piece:int -> Rule.t -> Cq.t -> Cq.t list
+(** All sound one-step rewritings of the query with the rule.
+    @raise Assert_failure on a multi-head rule. *)

@@ -1,0 +1,164 @@
+(* UCQ rewriting saturation, and with it the BDD property (Definition 2):
+   a theory is BDD for a query when the saturation reaches a fixpoint; the
+   resulting union of conjunctive queries is the positive first-order
+   rewriting Psi'.
+
+   BDD is undecidable in general, so the saturation is budgeted; running
+   out of budget yields [complete = false] and a sound under-approximation
+   (every disjunct is a correct sufficient condition). *)
+
+open Bddfc_logic
+open Bddfc_hom
+
+type result = {
+  ucq : Cq.t list;
+  complete : bool;
+  generated : int; (* rewriting steps attempted *)
+  kept : int; (* disjuncts surviving subsumption *)
+}
+
+let src = Logs.Src.create "bddfc.rewrite" ~doc:"UCQ rewriting"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ans_prefix = "_ans_"
+
+let freeze_answers (q : Cq.t) =
+  let s =
+    Subst.of_bindings
+      (List.map (fun x -> (x, Term.Cst (ans_prefix ^ x))) (Cq.answer q))
+  in
+  Cq.boolean (Subst.apply_atoms s (Cq.body q))
+
+let unfreeze_answers answer (q : Cq.t) =
+  let unfreeze t =
+    match t with
+    | Term.Cst c when String.length c > String.length ans_prefix
+                      && String.sub c 0 (String.length ans_prefix) = ans_prefix
+      ->
+        Term.Var (String.sub c (String.length ans_prefix)
+                    (String.length c - String.length ans_prefix))
+    | t -> t
+  in
+  let body = List.map (Atom.map_terms unfreeze) (Cq.body q) in
+  let present = Atom.vars_of_atoms body in
+  Cq.make ~answer:(List.filter (fun x -> Cq.SS.mem x present) answer) body
+
+(* Number of variables of a disjunct, counting frozen answer constants as
+   variables (they are variables of the unfrozen rewriting). *)
+let _var_count (q : Cq.t) =
+  let frozen =
+    Cq.SS.filter
+      (fun c ->
+        String.length c > String.length ans_prefix
+        && String.sub c 0 (String.length ans_prefix) = ans_prefix)
+      (Cq.consts q)
+  in
+  Cq.num_vars q + Cq.SS.cardinal frozen
+
+let rewrite ?(max_disjuncts = 400) ?(max_steps = 20_000) ?(max_piece = 5)
+    ?(max_disjunct_vars = 16) theory (q : Cq.t) =
+  let single_head =
+    List.for_all Rule.is_single_head (Theory.rules theory)
+  in
+  if not single_head then
+    invalid_arg
+      "Rewrite.rewrite: multi-head rules present; apply \
+       Bddfc_classes.Multihead.to_single_head first";
+  let answer = Cq.answer q in
+  let q0 = Containment.minimize (freeze_answers q) in
+  let kept = ref [ q0 ] in
+  let queue = Queue.create () in
+  Queue.add q0 queue;
+  let generated = ref 0 in
+  let complete = ref true in
+  (try
+     while not (Queue.is_empty queue) do
+       let cur = Queue.pop queue in
+       (* [cur] may have been superseded by a more general disjunct *)
+       if List.exists (fun k -> Cq.equal k cur) !kept then
+         List.iter
+           (fun rule ->
+             List.iter
+               (fun q' ->
+                 incr generated;
+                 if !generated > max_steps then begin
+                   complete := false;
+                   raise Exit
+                 end;
+                 let q' = Containment.minimize q' in
+                 if _var_count q' > max_disjunct_vars then
+                   (* a disjunct this wide signals divergence; dropping it
+                      keeps the result a sound under-approximation *)
+                   complete := false
+                 else begin
+                 let subsumed =
+                   List.exists
+                     (fun k -> Containment.subsumes ~general:k ~specific:q')
+                     !kept
+                 in
+                 if not subsumed then begin
+                   (* drop disjuncts that q' now subsumes *)
+                   kept :=
+                     q'
+                     :: List.filter
+                          (fun k ->
+                            not
+                              (Containment.subsumes ~general:q' ~specific:k))
+                          !kept;
+                   if List.length !kept > max_disjuncts then begin
+                     complete := false;
+                     raise Exit
+                   end;
+                   Queue.add q' queue
+                 end end)
+               (Piece.one_steps ~max_piece rule cur))
+           (Theory.rules theory)
+     done
+   with Exit -> ());
+  let ucq = List.rev_map (unfreeze_answers answer) !kept in
+  Log.debug (fun m ->
+      m "rewrite: %d disjuncts, complete=%b, %d steps" (List.length ucq)
+        !complete !generated);
+  { ucq; complete = !complete; generated = !generated; kept = List.length ucq }
+
+(* Is the theory BDD for this query (within the budget)?  [Some r] with
+   [r.complete = true] certifies yes; [r.complete = false] means unknown. *)
+let bdd_for_query ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
+    theory q =
+  rewrite ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars theory q
+
+(* Evaluate a UCQ rewriting over an instance (Boolean). *)
+let ucq_holds inst ucq = List.exists (fun q -> Eval.holds inst q) ucq
+
+(* --------------------------------------------------------------- *)
+(* kappa (Section 3.3): the maximal number of variables in a       *)
+(* positive rewriting of the body of some rule of the theory.      *)
+(* --------------------------------------------------------------- *)
+
+type kappa_result = {
+  kappa : int; (* max vars over all computed disjuncts *)
+  all_complete : bool; (* every body rewriting reached a fixpoint *)
+  per_rule : (string * int * bool) list; (* rule, max vars, complete *)
+}
+
+let kappa ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars theory =
+  let per_rule =
+    List.map
+      (fun rule ->
+        let body_q = Rule.body_query rule in
+        let r =
+          rewrite ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
+            theory body_q
+        in
+        let vmax =
+          List.fold_left (fun m d -> max m (Cq.num_vars d)) 0 r.ucq
+        in
+        (Rule.name rule, vmax, r.complete))
+      (Theory.rules theory)
+  in
+  {
+    kappa = List.fold_left (fun m (_, v, _) -> max m v) 0 per_rule;
+    all_complete = List.for_all (fun (_, _, c) -> c) per_rule;
+    per_rule;
+  }

@@ -1,0 +1,42 @@
+(** UCQ rewriting saturation and the BDD property (Definition 2 of the
+    paper): a theory is BDD for a query when the saturation reaches a
+    fixpoint; the result is the positive first-order rewriting Psi'.
+
+    BDD is undecidable, so the saturation is budgeted: running out yields
+    [complete = false] and a sound under-approximation (each disjunct is a
+    correct sufficient condition for certainty). *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type result = {
+  ucq : Cq.t list;
+  complete : bool; (** fixpoint reached: [ucq] is the full rewriting *)
+  generated : int; (** rewriting steps attempted *)
+  kept : int; (** disjuncts surviving subsumption *)
+}
+
+val rewrite :
+  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
+  ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+(** @raise Invalid_argument on multi-head rules (apply
+    [Bddfc_classes.Multihead.to_single_head] first). *)
+
+val bdd_for_query :
+  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
+  ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+(** Alias of {!rewrite}; [complete = true] certifies BDD for this query. *)
+
+val ucq_holds : Instance.t -> Cq.t list -> bool
+
+type kappa_result = {
+  kappa : int; (** max variables over all computed body rewritings *)
+  all_complete : bool;
+  per_rule : (string * int * bool) list; (** rule name, max vars, complete *)
+}
+
+val kappa :
+  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
+  ?max_disjunct_vars:int -> Theory.t -> kappa_result
+(** The kappa of Section 3.3: the maximal number of variables in a
+    positive rewriting of the body of some rule of the theory. *)

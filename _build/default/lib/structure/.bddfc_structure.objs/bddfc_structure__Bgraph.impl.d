@@ -1,0 +1,1 @@
+lib/structure/bgraph.pp.ml: Array Bddfc_logic Element Fact Instance List Pred Queue

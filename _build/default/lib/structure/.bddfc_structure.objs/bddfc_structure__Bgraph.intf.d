@@ -1,0 +1,1 @@
+lib/structure/bgraph.pp.mli: Bddfc_logic Element Instance Pred

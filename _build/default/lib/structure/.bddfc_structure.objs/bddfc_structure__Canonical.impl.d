@@ -1,0 +1,1 @@
+lib/structure/canonical.pp.ml: Array Bddfc_logic Element Fact Hashtbl Instance List Pred String

@@ -1,0 +1,1 @@
+lib/structure/canonical.pp.mli: Element Instance

@@ -1,0 +1,1 @@
+lib/structure/dot.pp.ml: Array Bddfc_logic Bgraph Buffer Fact Instance List Pred Printf String

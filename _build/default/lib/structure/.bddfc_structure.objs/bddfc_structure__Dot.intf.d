@@ -1,0 +1,1 @@
+lib/structure/dot.pp.mli: Instance

@@ -1,0 +1,1 @@
+lib/structure/element.pp.ml: Fmt Int Map Ppx_deriving_runtime Set

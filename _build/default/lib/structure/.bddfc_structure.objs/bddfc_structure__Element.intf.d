@@ -1,0 +1,1 @@
+lib/structure/element.pp.mli: Fmt Map Set

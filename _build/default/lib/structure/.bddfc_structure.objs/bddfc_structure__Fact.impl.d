@@ -1,0 +1,1 @@
+lib/structure/fact.pp.ml: Array Bddfc_logic Element Fmt Hashtbl Pred Set Stdlib

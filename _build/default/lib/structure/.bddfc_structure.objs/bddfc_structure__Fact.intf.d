@@ -1,0 +1,1 @@
+lib/structure/fact.pp.mli: Bddfc_logic Element Fmt Hashtbl Set

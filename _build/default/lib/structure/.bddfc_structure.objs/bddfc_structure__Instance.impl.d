@@ -1,0 +1,1 @@
+lib/structure/instance.pp.ml: Array Atom Bddfc_logic Element Fact Fmt Hashtbl List Pred Signature String Term

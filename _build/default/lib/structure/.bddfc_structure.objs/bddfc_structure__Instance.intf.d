@@ -1,0 +1,1 @@
+lib/structure/instance.pp.mli: Atom Bddfc_logic Element Fact Fmt Pred Signature

@@ -1,0 +1,39 @@
+(** Binary-signature view of a structure as an edge-labelled digraph
+    (Section 2.7 of the paper).  The view is a snapshot: it does not
+    follow later mutation of the instance. *)
+
+open Bddfc_logic
+
+type edge = { label : Pred.t; src : Element.id; dst : Element.id }
+type t
+
+val make : Instance.t -> t
+val instance : t -> Instance.t
+val size : t -> int
+val out_edges : t -> Element.id -> (Pred.t * Element.id) list
+val in_edges : t -> Element.id -> (Pred.t * Element.id) list
+val unary_labels : t -> Element.id -> Pred.t list
+val out_degree : t -> Element.id -> int
+val in_degree : t -> Element.id -> int
+val degree : t -> Element.id -> int
+val max_degree : t -> int
+val edges : t -> edge list
+
+val pred_set : t -> Element.id -> Element.Id_set.t
+(** P(e) of Definition 10: [{e}] for constants, otherwise [e] plus its
+    non-constant direct predecessors. *)
+
+val pred_set_k : t -> int -> Element.id -> Element.Id_set.t
+(** P_k(e) of Definition 13: the k-fold iteration of P. *)
+
+val directed_cycles_upto : t -> int -> Element.id list list
+(** Directed cycles among non-constant elements, length bounded by the
+    argument (0 = unbounded).  Used to validate Lemma 9. *)
+
+val has_directed_cycle_upto : t -> int -> bool
+
+val topo_order : t -> Element.id list option
+(** Topological order of the non-constant part; [None] if cyclic. *)
+
+val ball : t -> Element.id -> int -> Element.Id_set.t
+(** Undirected ball of the given radius around an element, inclusive. *)

@@ -1,0 +1,19 @@
+(** Canonical forms and isomorphism for small substructures, used for the
+    lightness component of natural colorings (Definition 14).  Brute force
+    over permutations of the non-pinned elements: exact, and cheap because
+    predecessor neighbourhoods are bounded (Lemma 3(iv)). *)
+
+val key : ?root:Element.id -> Instance.t -> Element.id list -> string
+(** A canonical key of the substructure induced by the element list.
+    Constants are fixed by name, the optional [root] is distinguished, and
+    the remaining elements are canonicalized by minimizing over orderings.
+    Equal keys iff isomorphic (constants by name, root to root).
+    @raise Invalid_argument with more than 8 free elements. *)
+
+val iso_with_roots :
+  Instance.t -> Element.id list -> Element.id ->
+  Instance.t -> Element.id list -> Element.id -> bool
+(** Isomorphism of two small induced substructures mapping root to root. *)
+
+val iso_small :
+  Instance.t -> Element.id list -> Instance.t -> Element.id list -> bool

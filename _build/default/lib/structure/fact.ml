@@ -1,0 +1,51 @@
+(* Ground facts over element ids. *)
+
+open Bddfc_logic
+
+type t = { pred : Pred.t; args : Element.id array }
+
+let make pred args =
+  if Array.length args <> Pred.arity pred then
+    invalid_arg "Fact.make: arity mismatch";
+  { pred; args }
+
+let pred f = f.pred
+let args f = f.args
+let arity f = Pred.arity f.pred
+
+let equal f1 f2 =
+  Pred.equal f1.pred f2.pred
+  && Array.length f1.args = Array.length f2.args
+  && Array.for_all2 ( = ) f1.args f2.args
+
+let compare f1 f2 =
+  let c = Pred.compare f1.pred f2.pred in
+  if c <> 0 then c else Stdlib.compare f1.args f2.args
+
+let hash f = Hashtbl.hash (Pred.name f.pred, Pred.arity f.pred, f.args)
+
+let elements f = Array.to_list f.args
+
+let pp ppf f =
+  Fmt.pf ppf "%s(%a)" (Pred.name f.pred)
+    Fmt.(array ~sep:(any ",") int)
+    f.args
+
+let show = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,19 @@
+(** Ground facts over element ids. *)
+
+type t = { pred : Bddfc_logic.Pred.t; args : Element.id array }
+
+val make : Bddfc_logic.Pred.t -> Element.id array -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val pred : t -> Bddfc_logic.Pred.t
+val args : t -> Element.id array
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val elements : t -> Element.id list
+val pp : t Fmt.t
+val show : t -> string
+
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,238 @@
+(* Finite relational structures ("database instances") over element ids.
+
+   The store is mutable and keeps three indexes:
+     - a fact table for O(1) duplicate detection,
+     - facts grouped by predicate,
+     - facts grouped by (predicate, position, element).
+
+   Constants are interned: asking twice for constant "a" yields the same
+   id, and the id remembers its name.  Labelled nulls carry provenance so
+   the chase skeleton (Section 3.2 of the paper) can be read back. *)
+
+open Bddfc_logic
+
+type t = {
+  mutable next_id : int;
+  mutable infos : Element.info array; (* id -> info, grown on demand *)
+  const_ids : (string, Element.id) Hashtbl.t;
+  fact_set : unit Fact.Table.t;
+  mutable fact_list : Fact.t list; (* newest first *)
+  mutable n_facts : int;
+  by_pred : (Pred.t, Fact.t list ref) Hashtbl.t;
+  by_ppe : (Pred.t * int * Element.id, Fact.t list ref) Hashtbl.t;
+  mutable preds : Pred.Set.t;
+}
+
+let create ?(capacity = 64) () =
+  {
+    next_id = 0;
+    infos = Array.make (max capacity 1) (Element.Const "");
+    const_ids = Hashtbl.create 16;
+    fact_set = Fact.Table.create capacity;
+    fact_list = [];
+    n_facts = 0;
+    by_pred = Hashtbl.create 16;
+    by_ppe = Hashtbl.create capacity;
+    preds = Pred.Set.empty;
+  }
+
+let ensure_capacity inst id =
+  let n = Array.length inst.infos in
+  if id >= n then begin
+    let infos = Array.make (max (2 * n) (id + 1)) (Element.Const "") in
+    Array.blit inst.infos 0 infos 0 n;
+    inst.infos <- infos
+  end
+
+let alloc inst info =
+  let id = inst.next_id in
+  inst.next_id <- id + 1;
+  ensure_capacity inst id;
+  inst.infos.(id) <- info;
+  id
+
+let const inst name =
+  match Hashtbl.find_opt inst.const_ids name with
+  | Some id -> id
+  | None ->
+      let id = alloc inst (Element.Const name) in
+      Hashtbl.replace inst.const_ids name id;
+      id
+
+let const_opt inst name = Hashtbl.find_opt inst.const_ids name
+
+let fresh_null inst ~birth ~rule ~parent =
+  alloc inst (Element.Null { birth; rule; parent })
+
+let info inst id =
+  if id < 0 || id >= inst.next_id then invalid_arg "Instance.info: bad id";
+  inst.infos.(id)
+
+let is_const inst id = Element.is_const (info inst id)
+let is_null inst id = Element.is_null (info inst id)
+let const_name inst id = Element.const_name (info inst id)
+let parent inst id = Element.parent (info inst id)
+let birth inst id = Element.birth (info inst id)
+
+let num_elements inst = inst.next_id
+let num_facts inst = inst.n_facts
+
+let elements inst = List.init inst.next_id (fun i -> i)
+
+let constants inst =
+  Hashtbl.fold (fun _ id acc -> id :: acc) inst.const_ids []
+
+let mem_fact inst f = Fact.Table.mem inst.fact_set f
+
+let add_fact inst f =
+  if Fact.Table.mem inst.fact_set f then false
+  else begin
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= inst.next_id then
+          invalid_arg "Instance.add_fact: unknown element id")
+      (Fact.args f);
+    Fact.Table.replace inst.fact_set f ();
+    inst.fact_list <- f :: inst.fact_list;
+    inst.n_facts <- inst.n_facts + 1;
+    inst.preds <- Pred.Set.add (Fact.pred f) inst.preds;
+    let push key tbl =
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r := f :: !r
+      | None -> Hashtbl.replace tbl key (ref [ f ])
+    in
+    push (Fact.pred f) inst.by_pred;
+    Array.iteri
+      (fun pos id -> push (Fact.pred f, pos, id) inst.by_ppe)
+      (Fact.args f);
+    true
+  end
+
+let facts inst = List.rev inst.fact_list
+
+let iter_facts fn inst = List.iter fn inst.fact_list
+
+let facts_with_pred inst p =
+  match Hashtbl.find_opt inst.by_pred p with Some r -> !r | None -> []
+
+let facts_with_arg inst p pos id =
+  match Hashtbl.find_opt inst.by_ppe (p, pos, id) with
+  | Some r -> !r
+  | None -> []
+
+let preds inst = inst.preds
+
+let signature inst =
+  let consts =
+    Hashtbl.fold (fun name _ acc -> name :: acc) inst.const_ids []
+  in
+  Signature.make ~preds:(Pred.Set.elements inst.preds) ~consts
+
+(* -------------------------------------------------------------- *)
+(* Conversions                                                    *)
+(* -------------------------------------------------------------- *)
+
+(* Add a ground atom; constants are interned by name.
+   @raise Invalid_argument if the atom contains a variable. *)
+let add_atom inst atom =
+  let ids =
+    List.map
+      (function
+        | Term.Cst c -> const inst c
+        | Term.Var x ->
+            invalid_arg ("Instance.add_atom: variable " ^ x ^ " in fact"))
+      (Atom.args atom)
+  in
+  add_fact inst (Fact.make (Atom.pred atom) (Array.of_list ids))
+
+let of_atoms atoms =
+  let inst = create () in
+  List.iter (fun a -> ignore (add_atom inst a)) atoms;
+  inst
+
+(* Render a fact back as a ground atom.  Nulls get printable invented
+   names ("_nK"). *)
+let atom_of_fact inst f =
+  let term_of id =
+    match info inst id with
+    | Element.Const c -> Term.Cst c
+    | Element.Null _ -> Term.Cst ("_n" ^ string_of_int id)
+  in
+  Atom.make (Fact.pred f) (List.map term_of (Fact.elements f))
+
+let to_atoms inst = List.map (atom_of_fact inst) (facts inst)
+
+(* -------------------------------------------------------------- *)
+(* Restriction and copying                                        *)
+(* -------------------------------------------------------------- *)
+
+(* A full structural copy sharing nothing with the original. *)
+let copy inst =
+  let c = create ~capacity:(max 64 inst.next_id) () in
+  c.next_id <- inst.next_id;
+  c.infos <- Array.copy inst.infos;
+  ensure_capacity c (max 0 (inst.next_id - 1));
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
+  iter_facts (fun f -> ignore (add_fact c f)) inst;
+  c
+
+(* C restricted to a predicate set (the paper's C |` Sigma).  Elements are
+   kept (with their ids); only facts are filtered. *)
+let restrict_preds inst keep =
+  let c = create ~capacity:(max 64 inst.next_id) () in
+  c.next_id <- inst.next_id;
+  c.infos <- Array.copy inst.infos;
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
+  iter_facts
+    (fun f -> if Pred.Set.mem (Fact.pred f) keep then ignore (add_fact c f))
+    inst;
+  c
+
+(* C restricted to an element set (the paper's C |` A): facts whose
+   arguments all lie in [keep]. *)
+let restrict_elements inst keep =
+  let c = create ~capacity:(max 64 inst.next_id) () in
+  c.next_id <- inst.next_id;
+  c.infos <- Array.copy inst.infos;
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
+  iter_facts
+    (fun f ->
+      if Array.for_all (fun id -> Element.Id_set.mem id keep) (Fact.args f)
+      then ignore (add_fact c f))
+    inst;
+  c
+
+(* Unary predicates true of an element. *)
+let unary_preds_of inst id =
+  Pred.Set.fold
+    (fun p acc ->
+      if Pred.is_unary p && facts_with_arg inst p 0 id <> [] then p :: acc
+      else acc)
+    inst.preds []
+
+(* Fact-set equality up to constant names.  Constants are matched by name;
+   labelled nulls are matched by id, so for structures with nulls this is
+   only meaningful when the two instances share an element table (e.g. a
+   copy).  For isomorphism of small structures use Canonical. *)
+let equal_facts inst1 inst2 =
+  let key inst f =
+    let render id =
+      match const_name inst id with
+      | Some c -> "c:" ^ c
+      | None -> "n:" ^ string_of_int id
+    in
+    Pred.name (Fact.pred f)
+    ^ "("
+    ^ String.concat "," (List.map render (Fact.elements f))
+    ^ ")"
+  in
+  let set inst =
+    List.sort_uniq String.compare (List.map (key inst) (facts inst))
+  in
+  set inst1 = set inst2
+
+let pp ppf inst =
+  let pp_fact ppf f = Atom.pp ppf (atom_of_fact inst f) in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_fact) (facts inst)
+
+let show = Fmt.to_to_string pp

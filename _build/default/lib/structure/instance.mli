@@ -1,0 +1,75 @@
+(** Finite relational structures ("database instances").
+
+    The store is mutable and maintains three indexes: a fact table for
+    duplicate detection, facts by predicate, and facts by
+    (predicate, position, element).  Constants are interned by name;
+    labelled nulls carry provenance for skeleton extraction. *)
+
+open Bddfc_logic
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** {1 Elements} *)
+
+val const : t -> string -> Element.id
+(** Intern a constant: the same name always yields the same id. *)
+
+val const_opt : t -> string -> Element.id option
+val fresh_null : t -> birth:int -> rule:string -> parent:Element.id option -> Element.id
+val info : t -> Element.id -> Element.info
+val is_const : t -> Element.id -> bool
+val is_null : t -> Element.id -> bool
+val const_name : t -> Element.id -> string option
+val parent : t -> Element.id -> Element.id option
+val birth : t -> Element.id -> int
+val num_elements : t -> int
+val elements : t -> Element.id list
+val constants : t -> Element.id list
+
+(** {1 Facts} *)
+
+val mem_fact : t -> Fact.t -> bool
+
+val add_fact : t -> Fact.t -> bool
+(** Returns [false] when the fact was already present.
+    @raise Invalid_argument on an unknown element id. *)
+
+val num_facts : t -> int
+val facts : t -> Fact.t list
+val iter_facts : (Fact.t -> unit) -> t -> unit
+val facts_with_pred : t -> Pred.t -> Fact.t list
+val facts_with_arg : t -> Pred.t -> int -> Element.id -> Fact.t list
+val preds : t -> Pred.Set.t
+val signature : t -> Signature.t
+
+(** {1 Conversions} *)
+
+val add_atom : t -> Atom.t -> bool
+(** Add a ground atom, interning its constants.
+    @raise Invalid_argument if the atom contains a variable. *)
+
+val of_atoms : Atom.t list -> t
+val atom_of_fact : t -> Fact.t -> Atom.t
+val to_atoms : t -> Atom.t list
+
+(** {1 Restriction and copying} *)
+
+val copy : t -> t
+(** A deep copy sharing nothing with the original; element ids coincide. *)
+
+val restrict_preds : t -> Pred.Set.t -> t
+(** The paper's [C |` Sigma]: keep all elements, filter facts. *)
+
+val restrict_elements : t -> Element.Id_set.t -> t
+(** The paper's [C |` A]: facts whose arguments all lie in the set. *)
+
+val unary_preds_of : t -> Element.id -> Pred.t list
+
+val equal_facts : t -> t -> bool
+(** Fact-set equality, constants matched by name, nulls by id — meaningful
+    for copies; use {!Canonical} for isomorphism of small structures. *)
+
+val pp : t Fmt.t
+val show : t -> string

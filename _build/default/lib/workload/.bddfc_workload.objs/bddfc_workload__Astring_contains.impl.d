@@ -1,0 +1,1 @@
+lib/workload/astring_contains.ml: String

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Astring_contains Bddfc_logic Bddfc_structure Fact Instance List Parser Pred Printf Random String Theory

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Bddfc_logic Bddfc_structure Instance Theory

@@ -1,0 +1,1 @@
+lib/workload/zoo.ml: Atom Bddfc_logic Bddfc_structure Cq Instance List Parser String Theory

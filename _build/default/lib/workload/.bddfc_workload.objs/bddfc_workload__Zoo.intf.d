@@ -1,0 +1,1 @@
+lib/workload/zoo.mli: Atom Bddfc_logic Bddfc_structure Cq Instance Theory

@@ -1,0 +1,31 @@
+(** Scalable instance and theory generators for tests and benchmarks. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+val chain : ?pred:string -> len:int -> unit -> Instance.t
+(** A directed chain of constants c0 -> c1 -> ... *)
+
+val null_chain : ?pred:string -> ?consts:int -> len:int -> unit -> Instance.t
+(** A chain whose first [consts] elements are constants and the rest
+    labelled nulls — the shape of a linear chase prefix. *)
+
+val cycle : ?pred:string -> len:int -> unit -> Instance.t
+val binary_tree : ?left:string -> ?right:string -> depth:int -> unit -> Instance.t
+
+val random_digraph :
+  ?pred:string -> nodes:int -> edges:int -> seed:int -> unit -> Instance.t
+(** Deterministic in the seed. *)
+
+val seeds : ?pred:string -> n:int -> unit -> Instance.t
+(** n disjoint edges: independent seeds for the chase. *)
+
+val linear_cycle_theory : k:int -> Theory.t
+val branching_theory : k:int -> Theory.t
+(** The Example 9 shape over k edge labels (k^2 rules). *)
+
+val random_binary_theory : ?rules:int -> seed:int -> unit -> Theory.t
+(** A pseudo-random binary frontier-one single-head theory (deterministic
+    in the seed); used to fuzz the pipeline's honesty. *)
+
+val random_instance : ?facts:int -> seed:int -> unit -> Instance.t

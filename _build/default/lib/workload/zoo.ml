@@ -1,0 +1,137 @@
+(* The zoo: every named example of the paper, as a runnable workload.
+   Each entry records the theory, the database instance, the interesting
+   queries, and what the paper proves about them. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type expectation =
+  | Query_certain (* Chase(D,T) |= Q *)
+  | Countermodel_exists (* a finite model of D, T avoiding Q exists *)
+  | Not_finitely_controllable
+      (* Chase(D,T) |/= Q yet every finite model satisfies Q *)
+
+type entry = {
+  name : string;
+  reference : string; (* where in the paper *)
+  theory : Theory.t;
+  database : Atom.t list;
+  query : Cq.t;
+  expectation : expectation;
+}
+
+let database_instance e = Instance.of_atoms e.database
+
+let mk name reference theory_src db_src query_src expectation =
+  {
+    name;
+    reference;
+    theory = Parser.parse_theory theory_src;
+    database = Parser.parse_atoms db_src;
+    query = Parser.parse_query query_src;
+    expectation;
+  }
+
+(* Example 1: the homomorphic collapse of the chase onto a 3-cycle wakes
+   the triangle rule up; the paper uses it to motivate type preservation. *)
+let ex1 =
+  mk "ex1" "Example 1"
+    {|
+      e(X,Y) -> exists Z. e(Y,Z).
+      e(X,Y), e(Y,Z), e(Z,X) -> exists T. u(X,T).
+      u(X,Y) -> exists Z. u(Y,Z).
+    |}
+    "e(a,b)." "? u(X,Y)." Countermodel_exists
+
+(* Example 7: the quotient satisfies the TGDs but breaks the datalog rule;
+   datalog saturation repairs it without new elements (Lemma 5). *)
+let ex7 =
+  mk "ex7" "Examples 7 and 8"
+    {|
+      e(X,Y) -> exists Z. e(Y,Z).
+      e(X,Y), e(X2,Y) -> r(X,X2).
+    |}
+    "e(a,b)." "? e(X,X)." Countermodel_exists
+
+(* Example 9: the F/G binary tree whose quotients contain undirected
+   4-cycles; used to show why undirected cycles need normalization. *)
+let ex9 =
+  mk "ex9" "Example 9"
+    {|
+      f(X,Y) -> exists Z. f(Y,Z).
+      f(X,Y) -> exists Z. g(Y,Z).
+      g(X,Y) -> exists Z. f(Y,Z).
+      g(X,Y) -> exists Z. g(Y,Z).
+    |}
+    "f(a,b)." "? f(X,Y), g(X,Y)." Countermodel_exists
+
+(* Remark 3: transitive closure of an infinite chain plus a reflexive
+   point; satisfies (♠3) but is not ptp-conservative. *)
+let remark3 =
+  mk "remark3" "Remark 3"
+    {|
+      e(X,Y) -> exists Z. e(Y,Z).
+      e(X,Y), e(Y,Z) -> e(X,Z).
+    |}
+    "e(a,a). e(b,c)." "? e(X,X)." Query_certain
+
+(* Section 5.5: the notorious non-FC theory.  Chase(D,T) |/= Phi, yet
+   every finite model of D, T satisfies Phi. *)
+let sec55 =
+  mk "sec55" "Section 5.5"
+    {|
+      e(X,Y) -> exists Z. e(Y,Z).
+      r(X,Y), e(X,X2), e(Y,Z), e(Z,Y2) -> r(X2,Y2).
+    |}
+    "e(a0,a1). r(a0,a0)." "? e(X,Y), r(Y,Y)." Not_finitely_controllable
+
+(* A linear theory (Section 1: Linear Datalog-exists is BDD and FC). *)
+let linear =
+  mk "linear" "Section 1 (Linear)"
+    "e(X,Y) -> exists Z. e(Y,Z)."
+    "e(a,b)." "? e(X,X)." Countermodel_exists
+
+(* A sticky theory (Section 1: Sticky Datalog-exists, [4]/[6]). *)
+let sticky =
+  mk "sticky" "Section 1 (Sticky)"
+    {|
+      p(X) -> exists Y. r(X,Y).
+      r(X,Y) -> p(Y).
+    |}
+    "p(a)." "? r(X,X)." Countermodel_exists
+
+(* A weakly acyclic theory: the chase terminates, the finite chase is the
+   countermodel. *)
+let weakly_acyclic =
+  mk "weakly_acyclic" "terminating-chase baseline"
+    {|
+      p(X) -> exists Y. e(X,Y).
+      e(X,Y) -> q(Y).
+    |}
+    "p(a)." "? e(X,X)." Countermodel_exists
+
+(* A guarded ternary theory for the Section 5.6 compilation. *)
+let guarded_ternary =
+  mk "guarded_ternary" "Section 5.6"
+    {|
+      start(X) -> exists Z. c(X,Z).
+      c(X,Y) -> exists Z. g(X,Y,Z).
+      g(X,Y,Z) -> d(Y,Z).
+    |}
+    "start(a)." "? d(Y,Y)." Countermodel_exists
+
+(* The Section 5.4 obstruction: a BDD theory over a 4-ary signature whose
+   quotients always demand fresh witnesses. *)
+let sec54 =
+  mk "sec54" "Section 5.4"
+    {|
+      r(X,X2,Y,Z) -> e(Y,Z).
+      e(X,Y), e(T,Y) -> exists Z. r(X,T,Y,Z).
+    |}
+    "e(a,b)." "? e(X,X)." Countermodel_exists
+
+let all =
+  [ ex1; ex7; ex9; remark3; sec55; linear; sticky; weakly_acyclic;
+    guarded_ternary; sec54 ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all

@@ -1,0 +1,48 @@
+(** The zoo: every named example of the paper as a runnable workload. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type expectation =
+  | Query_certain
+  | Countermodel_exists
+  | Not_finitely_controllable
+
+type entry = {
+  name : string;
+  reference : string; (** where in the paper *)
+  theory : Theory.t;
+  database : Atom.t list;
+  query : Cq.t;
+  expectation : expectation;
+}
+
+val database_instance : entry -> Instance.t
+
+val ex1 : entry
+(** Example 1. *)
+
+val ex7 : entry
+(** Examples 7 and 8. *)
+
+val ex9 : entry
+(** Example 9. *)
+
+val remark3 : entry
+(** Remark 3. *)
+
+val sec55 : entry
+(** The Section 5.5 non-FC theory. *)
+
+val linear : entry
+val sticky : entry
+val weakly_acyclic : entry
+
+val guarded_ternary : entry
+(** The Section 5.6 input. *)
+
+val sec54 : entry
+(** The Section 5.4 obstruction. *)
+
+val all : entry list
+val find : string -> entry option

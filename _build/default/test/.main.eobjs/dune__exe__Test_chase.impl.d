@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Array Bddfc_chase Bddfc_hom Bddfc_logic Bddfc_structure Bddfc_workload Chase Eval Gen Instance List Option Parser Pred Skeleton Termination Zoo

@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Array Atom Bddfc_hom Bddfc_logic Bddfc_structure Bddfc_workload Containment Cq Eval Fact Gen Hom Instance List Option Parser Pebble Pred Printf Ptypes Term

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Atom Bddfc_logic Cq List Parser Pred Rule Signature Sset String Subst Term Theory Unify

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Array Bddfc_chase Bddfc_logic Bddfc_structure Chase Fact Fmt Instance List Option Parser Pred Provenance

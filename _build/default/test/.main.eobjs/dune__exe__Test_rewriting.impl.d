@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Atom Bddfc_chase Bddfc_logic Bddfc_rewriting Bddfc_structure Bddfc_workload Chase Cq Instance List Option Parser Piece Pred Printf Rewrite Rule Term Theory

@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Atom Bddfc_logic Bddfc_structure Bddfc_workload Bgraph Canonical Element Fact Hashtbl Instance List Parser Pred Term

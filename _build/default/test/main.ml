@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "bddfc"
+    [ Test_logic.suite;
+      Test_structure.suite;
+      Test_hom.suite;
+      Test_chase.suite;
+      Test_rewriting.suite;
+      Test_ptp.suite;
+      Test_finitemodel.suite;
+      Test_classes.suite;
+      Test_properties.suite;
+      Test_integration.suite;
+      Test_extensions.suite;
+      Test_provenance.suite;
+    ]

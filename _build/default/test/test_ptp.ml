@@ -1,0 +1,323 @@
+(* Unit tests for Bddfc_ptp: refinement, quotients, colorings, VTDAGs,
+   conservativity — the Section 2 and 4 machinery. *)
+
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_hom
+open Bddfc_ptp
+open Bddfc_workload
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let q src = Parser.parse_query src
+
+(* ------------------------------------------------------------------ *)
+(* Refine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_refine_chain_depths () =
+  let chain = Gen.null_chain ~consts:0 ~len:12 () in
+  let g = Bgraph.make chain in
+  (* depth-k backward refinement distinguishes the first k depths *)
+  let r = Refine.compute ~mode:Refine.Backward ~depth:3 g in
+  check Alcotest.bool "0 vs 1 differ" false (Refine.equivalent r 0 1);
+  check Alcotest.bool "2 vs 3 differ" false (Refine.equivalent r 2 3);
+  check Alcotest.bool "3 vs 4 equal" true (Refine.equivalent r 3 4);
+  check Alcotest.bool "deep pair equal" true (Refine.equivalent r 7 8)
+
+let test_refine_modes () =
+  let chain = Gen.null_chain ~consts:0 ~len:12 () in
+  let g = Bgraph.make chain in
+  (* forward refinement distinguishes the last depths instead *)
+  let f = Refine.compute ~mode:Refine.Forward ~depth:3 g in
+  check Alcotest.bool "tail elements differ" false (Refine.equivalent f 11 10);
+  check Alcotest.bool "front elements equal" true (Refine.equivalent f 0 1);
+  let b = Refine.compute ~mode:Refine.Bidirectional ~depth:3 g in
+  check Alcotest.bool "bidirectional refines both" false (Refine.equivalent b 0 1);
+  check Alcotest.bool "middle equal" true (Refine.equivalent b 5 6)
+
+let test_refine_constants_singleton () =
+  let chain = Gen.null_chain ~consts:2 ~len:8 () in
+  let g = Bgraph.make chain in
+  let r = Refine.compute ~mode:Refine.Backward ~depth:1 g in
+  (* the two constants are alone in their classes *)
+  let cls = Refine.classes r in
+  List.iter
+    (fun (_, members) ->
+      if List.exists (Instance.is_const chain) members then
+        check Alcotest.int "constant class is singleton" 1 (List.length members))
+    cls
+
+let test_refine_monotone_in_depth () =
+  let inst = Gen.random_digraph ~nodes:14 ~edges:20 ~seed:7 () in
+  let g = Bgraph.make inst in
+  let counts =
+    List.map
+      (fun d -> Refine.num_classes (Refine.compute ~depth:d g))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "classes only refine" true (non_decreasing counts)
+
+let test_refine_agrees_with_exact_on_chain () =
+  (* on uncolored chains, backward+forward refinement at depth k-1 gives
+     the same partition as exact k-variable types *)
+  let chain = Gen.null_chain ~consts:0 ~len:9 () in
+  let g = Bgraph.make chain in
+  let r = Refine.compute ~mode:Refine.Bidirectional ~depth:1 g in
+  let exact, n_exact = Ptypes.classes ~vars:2 chain in
+  check Alcotest.int "same class count" n_exact (Refine.num_classes r);
+  let agree =
+    List.for_all
+      (fun d ->
+        List.for_all
+          (fun e -> Refine.equivalent r d e = (exact.(d) = exact.(e)))
+          (Instance.elements chain))
+      (Instance.elements chain)
+  in
+  check Alcotest.bool "same partition" true agree
+
+(* ------------------------------------------------------------------ *)
+(* Quotient                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_quotient_example3 () =
+  (* Example 3: the uncolored quotient of a chain has a self-loop *)
+  let chain = Gen.null_chain ~consts:0 ~len:12 () in
+  let g = Bgraph.make chain in
+  let r = Refine.compute ~mode:Refine.Backward ~depth:4 g in
+  let qt = Quotient.of_refinement chain r in
+  check Alcotest.int "n+1 classes" 5 (Instance.num_elements qt.Quotient.quotient);
+  check Alcotest.bool "self-loop appears" true
+    (Eval.holds qt.Quotient.quotient (q "? e(X,X).")) ;
+  check Alcotest.bool "original has no loop" false (Eval.holds chain (q "? e(X,X)."))
+
+let test_quotient_projection_is_hom () =
+  (* Definition 5 / Lemma 1: q_n is a homomorphism *)
+  let inst = Gen.random_digraph ~nodes:10 ~edges:18 ~seed:11 () in
+  let g = Bgraph.make inst in
+  let r = Refine.compute ~depth:2 g in
+  let qt = Quotient.of_refinement inst r in
+  Instance.iter_facts
+    (fun f ->
+      let projected =
+        Fact.make (Fact.pred f) (Array.map (Quotient.project qt) (Fact.args f))
+      in
+      check Alcotest.bool "projected fact present" true
+        (Instance.mem_fact qt.Quotient.quotient projected))
+    inst
+
+let test_quotient_minimality () =
+  (* relations are minimal: every quotient fact has a preimage *)
+  let inst = Gen.null_chain ~consts:1 ~len:8 () in
+  let g = Bgraph.make inst in
+  let r = Refine.compute ~mode:Refine.Backward ~depth:2 g in
+  let qt = Quotient.of_refinement inst r in
+  Instance.iter_facts
+    (fun f ->
+      let has_preimage =
+        List.exists
+          (fun src_fact ->
+            Pred.equal (Fact.pred src_fact) (Fact.pred f)
+            && Array.for_all2
+                 (fun src img -> Quotient.project qt src = img)
+                 (Fact.args src_fact) (Fact.args f))
+          (Instance.facts inst)
+      in
+      check Alcotest.bool "fact has a preimage" true has_preimage)
+    qt.Quotient.quotient
+
+let test_quotient_constants_kept () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b). e(b,c).") in
+  let g = Bgraph.make inst in
+  let r = Refine.compute ~depth:1 g in
+  let qt = Quotient.of_refinement inst r in
+  check Alcotest.int "three constants stay" 3
+    (Instance.num_elements qt.Quotient.quotient);
+  check Alcotest.bool "named" true
+    (Instance.const_opt qt.Quotient.quotient "b" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_natural_coloring_chain () =
+  let chain = Gen.null_chain ~consts:1 ~len:15 () in
+  let col = Coloring.natural ~m:2 chain in
+  check Alcotest.int "no violations" 0
+    (List.length (Coloring.check_natural ~m:2 chain col));
+  (* hue count: P_2 conflicts need 4 hues on a chain *)
+  check Alcotest.bool "bounded hues" true (col.Coloring.num_hues <= 4)
+
+let test_natural_coloring_tree () =
+  let tree = Gen.binary_tree ~depth:4 () in
+  let col = Coloring.natural ~m:2 tree in
+  check Alcotest.int "no violations on tree" 0
+    (List.length (Coloring.check_natural ~m:2 tree col))
+
+let test_coloring_is_coloring () =
+  (* Definition 7: exactly one color per element, base facts untouched *)
+  let chain = Gen.null_chain ~consts:1 ~len:10 () in
+  let col = Coloring.natural ~m:3 chain in
+  let colored = col.Coloring.colored in
+  let color_preds = Coloring.color_preds colored in
+  List.iter
+    (fun e ->
+      let colors =
+        Pred.Set.fold
+          (fun p acc ->
+            acc + List.length (Instance.facts_with_arg colored p 0 e))
+          color_preds 0
+      in
+      check Alcotest.int "exactly one color" 1 colors)
+    (Instance.elements colored);
+  check Alcotest.bool "uncolor restores" true
+    (Instance.equal_facts (Coloring.uncolor colored) chain)
+
+let test_example4_quotient_cycle () =
+  (* Example 4: colored chain quotient is a chain followed by a cycle
+     whose length equals the hue period *)
+  let chain = Gen.null_chain ~consts:1 ~len:30 () in
+  let col = Coloring.natural ~m:2 chain in
+  let g = Bgraph.make col.Coloring.colored in
+  let r = Refine.compute ~mode:Refine.Backward ~depth:6 g in
+  let qt = Quotient.of_refinement col.Coloring.colored r in
+  let base = Coloring.uncolor qt.Quotient.quotient in
+  check Alcotest.bool "no self loop" false (Eval.holds base (q "? e(X,X)."));
+  check Alcotest.bool "no short cycle (2)" false
+    (Eval.holds base (q "? e(X,Y), e(Y,X)."));
+  check Alcotest.bool "no short cycle (3)" false
+    (Eval.holds base (q "? e(X,Y), e(Y,Z), e(Z,X)."));
+  (* a cycle of the hue period exists *)
+  check Alcotest.bool "period-4 cycle" true
+    (Eval.holds base (q "? e(X,Y), e(Y,Z), e(Z,W), e(W,X)."));
+  check Alcotest.bool "smaller than the chain" true
+    (Instance.num_elements base < 31)
+
+let test_distance_coloring () =
+  let inst = Gen.random_digraph ~nodes:12 ~edges:16 ~seed:5 () in
+  let col = Coloring.distance ~radius:2 inst in
+  (* within radius 2, all hues pairwise distinct *)
+  let g = Bgraph.make inst in
+  List.iter
+    (fun e ->
+      Element.Id_set.iter
+        (fun d ->
+          if d <> e then
+            check Alcotest.bool "distinct in ball" true
+              (col.Coloring.hue.(e) <> col.Coloring.hue.(d)))
+        (Element.Id_set.remove e (Bgraph.ball g e 2)))
+    (Instance.elements inst)
+
+(* ------------------------------------------------------------------ *)
+(* Vtdag                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_vtdag_chain_tree () =
+  check Alcotest.bool "chain" true (Vtdag.is_vtdag (Gen.null_chain ~len:8 ()));
+  check Alcotest.bool "tree" true (Vtdag.is_vtdag (Gen.binary_tree ~depth:3 ()));
+  check Alcotest.bool "forest test agrees" true
+    (Vtdag.is_forest (Gen.binary_tree ~depth:3 ()))
+
+let test_vtdag_violations () =
+  (* two non-constant e-predecessors *)
+  let inst = Instance.create () in
+  let e = Pred.make "e" 2 in
+  let n1 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  let n2 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  let n3 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  ignore (Instance.add_fact inst (Fact.make e [| n1; n3 |]));
+  ignore (Instance.add_fact inst (Fact.make e [| n2; n3 |]));
+  check Alcotest.bool "multi-predecessor rejected" false (Vtdag.is_vtdag inst);
+  (* ... but two predecessors via different relations with a clique is fine *)
+  let inst2 = Instance.create () in
+  let f = Pred.make "f" 2 in
+  let m1 = Instance.fresh_null inst2 ~birth:0 ~rule:"t" ~parent:None in
+  let m2 = Instance.fresh_null inst2 ~birth:0 ~rule:"t" ~parent:None in
+  let m3 = Instance.fresh_null inst2 ~birth:0 ~rule:"t" ~parent:None in
+  ignore (Instance.add_fact inst2 (Fact.make e [| m1; m3 |]));
+  ignore (Instance.add_fact inst2 (Fact.make f [| m2; m3 |]));
+  ignore (Instance.add_fact inst2 (Fact.make e [| m1; m2 |]));
+  check Alcotest.bool "clique predecessors accepted" true (Vtdag.is_vtdag inst2);
+  (* without the clique edge it is rejected *)
+  let inst3 = Instance.create () in
+  let k1 = Instance.fresh_null inst3 ~birth:0 ~rule:"t" ~parent:None in
+  let k2 = Instance.fresh_null inst3 ~birth:0 ~rule:"t" ~parent:None in
+  let k3 = Instance.fresh_null inst3 ~birth:0 ~rule:"t" ~parent:None in
+  ignore (Instance.add_fact inst3 (Fact.make e [| k1; k3 |]));
+  ignore (Instance.add_fact inst3 (Fact.make f [| k2; k3 |]));
+  check Alcotest.bool "non-clique rejected" false (Vtdag.is_vtdag inst3)
+
+let test_vtdag_cycle () =
+  let inst = Instance.create () in
+  let e = Pred.make "e" 2 in
+  let n1 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  let n2 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  ignore (Instance.add_fact inst (Fact.make e [| n1; n2 |]));
+  ignore (Instance.add_fact inst (Fact.make e [| n2; n1 |]));
+  check Alcotest.bool "cyclic rejected" false (Vtdag.is_vtdag inst)
+
+(* ------------------------------------------------------------------ *)
+(* Conservative                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_conservative_chain () =
+  (* Lemma 2 in miniature: a colored chain is n-conservative up to m *)
+  let chain = Gen.null_chain ~consts:1 ~len:9 () in
+  let col = Coloring.natural ~m:2 chain in
+  match Conservative.find_conservative_n ~m:2 ~max_n:5 chain col with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a conservative n for the colored chain"
+
+let test_not_conservative_uncolored () =
+  (* Example 3: without colors the chain quotient is never conservative
+     even up to size 1 at small n (the self-loop query appears) *)
+  let chain = Gen.null_chain ~consts:0 ~len:9 () in
+  let trivial =
+    Coloring.materialize chain
+      (Array.make (Instance.num_elements chain) 0)
+      (Array.make (Instance.num_elements chain) 0)
+  in
+  let c = Conservative.check_exact ~m:2 ~n:2 chain trivial in
+  check Alcotest.bool "uncolored chain gains queries" false c.Conservative.conservative;
+  check Alcotest.bool "failures are gains" true
+    (List.for_all (fun (_, d) -> d = `Gained) c.Conservative.failures)
+
+let test_conservative_frontier () =
+  (* Example 4's boundary: a coloring for m is n-conservative up to m but
+     not necessarily up to m+2 (the quotient cycle becomes visible) *)
+  let chain = Gen.null_chain ~consts:1 ~len:12 () in
+  let col = Coloring.natural ~m:1 chain in
+  let n = Conservative.find_conservative_n ~m:1 ~max_n:4 chain col in
+  check Alcotest.bool "conservative at m=1" true (n <> None);
+  (* the hue period is ~3, so a cycle query with few variables exists *)
+  let big = Conservative.check_exact ~m:5 ~n:3 chain col in
+  check Alcotest.bool "not conservative up to 5" false big.Conservative.conservative
+
+let suite =
+  ( "ptp",
+    [ tc "refine chain depths" test_refine_chain_depths;
+      tc "refine modes" test_refine_modes;
+      tc "refine constants singleton" test_refine_constants_singleton;
+      tc "refine monotone in depth" test_refine_monotone_in_depth;
+      tc "refine agrees with exact (chain)" test_refine_agrees_with_exact_on_chain;
+      tc "quotient Example 3" test_quotient_example3;
+      tc "quotient projection is hom (Lemma 1)" test_quotient_projection_is_hom;
+      tc "quotient minimality" test_quotient_minimality;
+      tc "quotient keeps constants" test_quotient_constants_kept;
+      tc "natural coloring chain" test_natural_coloring_chain;
+      tc "natural coloring tree" test_natural_coloring_tree;
+      tc "coloring well-formed (Def 7)" test_coloring_is_coloring;
+      tc "Example 4 quotient cycle" test_example4_quotient_cycle;
+      tc "distance coloring (Lemma 13)" test_distance_coloring;
+      tc "vtdag chain and tree" test_vtdag_chain_tree;
+      tc "vtdag violations" test_vtdag_violations;
+      tc "vtdag cycle" test_vtdag_cycle;
+      tc "conservative colored chain" test_conservative_chain;
+      tc "uncolored not conservative (Example 3)" test_not_conservative_uncolored;
+      tc "conservativity frontier (Example 4)" test_conservative_frontier;
+    ] )

@@ -1,0 +1,217 @@
+(* Unit tests for Bddfc_structure: instances, graph views, canonical
+   forms. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let e = Pred.make "e" 2
+let p1 = Pred.make "p" 1
+
+let test_const_interning () =
+  let inst = Instance.create () in
+  let a = Instance.const inst "a" in
+  let a' = Instance.const inst "a" in
+  let b = Instance.const inst "b" in
+  check Alcotest.int "same id" a a';
+  check Alcotest.bool "distinct consts" true (a <> b);
+  check Alcotest.(option string) "name" (Some "a") (Instance.const_name inst a);
+  check Alcotest.bool "is const" true (Instance.is_const inst a)
+
+let test_null_provenance () =
+  let inst = Instance.create () in
+  let a = Instance.const inst "a" in
+  let n = Instance.fresh_null inst ~birth:3 ~rule:"r1" ~parent:(Some a) in
+  check Alcotest.bool "is null" true (Instance.is_null inst n);
+  check Alcotest.(option int) "parent" (Some a) (Instance.parent inst n);
+  check Alcotest.int "birth" 3 (Instance.birth inst n)
+
+let test_fact_dedup () =
+  let inst = Instance.create () in
+  let a = Instance.const inst "a" and b = Instance.const inst "b" in
+  check Alcotest.bool "first add" true (Instance.add_fact inst (Fact.make e [| a; b |]));
+  check Alcotest.bool "dup add" false (Instance.add_fact inst (Fact.make e [| a; b |]));
+  check Alcotest.int "one fact" 1 (Instance.num_facts inst)
+
+let test_indexes () =
+  let inst = Instance.create () in
+  let a = Instance.const inst "a"
+  and b = Instance.const inst "b"
+  and cc = Instance.const inst "c" in
+  ignore (Instance.add_fact inst (Fact.make e [| a; b |]));
+  ignore (Instance.add_fact inst (Fact.make e [| a; cc |]));
+  ignore (Instance.add_fact inst (Fact.make e [| b; cc |]));
+  check Alcotest.int "by pred" 3 (List.length (Instance.facts_with_pred inst e));
+  check Alcotest.int "a at pos 0" 2
+    (List.length (Instance.facts_with_arg inst e 0 a));
+  check Alcotest.int "c at pos 1" 2
+    (List.length (Instance.facts_with_arg inst e 1 cc));
+  check Alcotest.int "b at pos 0" 1
+    (List.length (Instance.facts_with_arg inst e 0 b))
+
+let test_atom_conversion () =
+  let atoms = Parser.parse_atoms "e(a,b). p(a)." in
+  let inst = Instance.of_atoms atoms in
+  check Alcotest.int "elements" 2 (Instance.num_elements inst);
+  check Alcotest.int "facts" 2 (Instance.num_facts inst);
+  let back = Instance.to_atoms inst in
+  check Alcotest.int "atoms back" 2 (List.length back);
+  check Alcotest.bool "e(a,b) present" true
+    (List.exists (Atom.equal (Atom.app "e" [ Term.cst "a"; Term.cst "b" ])) back)
+
+let test_add_atom_rejects_vars () =
+  let inst = Instance.create () in
+  Alcotest.check_raises "variable in fact"
+    (Invalid_argument "Instance.add_atom: variable X in fact") (fun () ->
+      ignore (Instance.add_atom inst (Atom.app "p" [ Term.var "X" ])))
+
+let test_copy_independent () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b).") in
+  let cp = Instance.copy inst in
+  let a = Instance.const cp "a" in
+  ignore (Instance.add_fact cp (Fact.make p1 [| a |]));
+  check Alcotest.int "copy grew" 2 (Instance.num_facts cp);
+  check Alcotest.int "original untouched" 1 (Instance.num_facts inst)
+
+let test_restrict_preds () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b). p(a).") in
+  let r = Instance.restrict_preds inst (Pred.Set.singleton e) in
+  check Alcotest.int "only e" 1 (Instance.num_facts r);
+  check Alcotest.int "elements kept" (Instance.num_elements inst)
+    (Instance.num_elements r)
+
+let test_restrict_elements () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b). e(b,c). p(a).") in
+  let a = Instance.const inst "a" and b = Instance.const inst "b" in
+  let r =
+    Instance.restrict_elements inst (Element.Id_set.of_list [ a; b ])
+  in
+  check Alcotest.int "facts inside {a,b}" 2 (Instance.num_facts r)
+
+let test_equal_facts () =
+  let i1 = Instance.of_atoms (Parser.parse_atoms "e(a,b). e(b,c).") in
+  let i2 = Instance.of_atoms (Parser.parse_atoms "e(b,c). e(a,b).") in
+  check Alcotest.bool "order irrelevant" true (Instance.equal_facts i1 i2)
+
+(* ------------------------------------------------------------------ *)
+(* Bgraph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bgraph_adjacency () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b). e(b,c). p(b).") in
+  let g = Bgraph.make inst in
+  let b = Instance.const inst "b" in
+  check Alcotest.int "out" 1 (Bgraph.out_degree g b);
+  check Alcotest.int "in" 1 (Bgraph.in_degree g b);
+  check Alcotest.int "unary labels" 1 (List.length (Bgraph.unary_labels g b));
+  check Alcotest.int "max degree" 2 (Bgraph.max_degree g)
+
+let test_bgraph_cycles () =
+  let c3 = Bddfc_workload.Gen.cycle ~len:3 () in
+  let g = Bgraph.make c3 in
+  (* constants only: no non-constant cycles *)
+  check Alcotest.bool "const cycle invisible" false
+    (Bgraph.has_directed_cycle_upto g 5);
+  (* null cycle *)
+  let inst = Instance.create () in
+  let n1 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  let n2 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+  ignore (Instance.add_fact inst (Fact.make e [| n1; n2 |]));
+  ignore (Instance.add_fact inst (Fact.make e [| n2; n1 |]));
+  let g2 = Bgraph.make inst in
+  check Alcotest.bool "2-cycle found" true (Bgraph.has_directed_cycle_upto g2 2);
+  check Alcotest.bool "no topo order" true (Bgraph.topo_order g2 = None)
+
+let test_bgraph_topo () =
+  let inst = Bddfc_workload.Gen.null_chain ~len:6 () in
+  let g = Bgraph.make inst in
+  match Bgraph.topo_order g with
+  | None -> Alcotest.fail "chain should have a topo order"
+  | Some order ->
+      check Alcotest.int "5 nulls ordered" 5 (List.length order);
+      (* parents precede children *)
+      let pos = Hashtbl.create 8 in
+      List.iteri (fun i x -> Hashtbl.replace pos x i) order;
+      Instance.iter_facts
+        (fun f ->
+          match Fact.args f with
+          | [| x; y |] when Instance.is_null inst x && Instance.is_null inst y ->
+              check Alcotest.bool "edge respects order" true
+                (Hashtbl.find pos x < Hashtbl.find pos y)
+          | _ -> ())
+        inst
+
+let test_pred_set () =
+  let inst = Bddfc_workload.Gen.null_chain ~len:4 () in
+  let g = Bgraph.make inst in
+  (* last element: P(e) = {e, parent} *)
+  let last = Instance.num_elements inst - 1 in
+  check Alcotest.int "P(e) size" 2 (Element.Id_set.cardinal (Bgraph.pred_set g last));
+  check Alcotest.int "P_2(e) size" 3
+    (Element.Id_set.cardinal (Bgraph.pred_set_k g 2 last));
+  (* constants: P(c) = {c} *)
+  let c0 = Instance.const inst "c0" in
+  check Alcotest.int "P(const)" 1 (Element.Id_set.cardinal (Bgraph.pred_set g c0))
+
+let test_ball () =
+  let inst = Bddfc_workload.Gen.null_chain ~len:7 () in
+  let g = Bgraph.make inst in
+  let mid = 3 in
+  check Alcotest.int "radius 1 ball" 3 (Element.Id_set.cardinal (Bgraph.ball g mid 1));
+  check Alcotest.int "radius 2 ball" 5 (Element.Id_set.cardinal (Bgraph.ball g mid 2))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_canonical_iso () =
+  (* two 2-chains of nulls are isomorphic *)
+  let mk () =
+    let inst = Instance.create () in
+    let n1 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+    let n2 = Instance.fresh_null inst ~birth:0 ~rule:"t" ~parent:None in
+    ignore (Instance.add_fact inst (Fact.make e [| n1; n2 |]));
+    (inst, n1, n2)
+  in
+  let i1, a1, b1 = mk () and i2, a2, b2 = mk () in
+  check Alcotest.bool "iso same roots" true
+    (Canonical.iso_with_roots i1 [ a1; b1 ] a1 i2 [ a2; b2 ] a2);
+  check Alcotest.bool "root position matters" false
+    (Canonical.iso_with_roots i1 [ a1; b1 ] a1 i2 [ a2; b2 ] b2)
+
+let test_canonical_constants_rigid () =
+  let i1 = Instance.of_atoms (Parser.parse_atoms "e(a,b).") in
+  let i2 = Instance.of_atoms (Parser.parse_atoms "e(b,a).") in
+  let elems inst = Instance.elements inst in
+  check Alcotest.bool "constants fixed by name" false
+    (Canonical.iso_small i1 (elems i1) i2 (elems i2))
+
+let test_canonical_key_stable () =
+  let inst = Instance.of_atoms (Parser.parse_atoms "e(a,b). e(b,a).") in
+  let k1 = Canonical.key inst (Instance.elements inst) in
+  let k2 = Canonical.key inst (Instance.elements inst) in
+  check Alcotest.string "deterministic" k1 k2
+
+let suite =
+  ( "structure",
+    [ tc "const interning" test_const_interning;
+      tc "null provenance" test_null_provenance;
+      tc "fact dedup" test_fact_dedup;
+      tc "indexes" test_indexes;
+      tc "atom conversion" test_atom_conversion;
+      tc "add_atom rejects vars" test_add_atom_rejects_vars;
+      tc "copy independence" test_copy_independent;
+      tc "restrict preds" test_restrict_preds;
+      tc "restrict elements" test_restrict_elements;
+      tc "equal facts" test_equal_facts;
+      tc "bgraph adjacency" test_bgraph_adjacency;
+      tc "bgraph cycles" test_bgraph_cycles;
+      tc "bgraph topo order" test_bgraph_topo;
+      tc "P(e) sets" test_pred_set;
+      tc "balls" test_ball;
+      tc "canonical iso" test_canonical_iso;
+      tc "canonical constants rigid" test_canonical_constants_rigid;
+      tc "canonical key stable" test_canonical_key_stable;
+    ] )
