@@ -13,6 +13,30 @@ open Bddfc
 open Bddfc_workload
 module I = Structure.Instance
 
+(* One optional governor for the whole harness: --timeout caps the wall
+   clock of every budgeted call, --fuel bounds each engine counter.  The
+   tables then show budget-exhausted outcomes instead of hanging. *)
+let governor : Budget.t option ref = ref None
+
+let parse_args () =
+  let timeout = ref nan in
+  let fuel = ref 0 in
+  Arg.parse
+    [ ("--timeout", Arg.Set_float timeout,
+       "SECONDS wall-clock deadline shared by every budgeted call");
+      ("--fuel", Arg.Set_int fuel,
+       "N uniform fuel for every engine counter") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--timeout SECONDS] [--fuel N]";
+  let some_if cond v = if cond then Some v else None in
+  let deadline_s = some_if (Float.is_finite !timeout) !timeout in
+  let fuel = some_if (!fuel > 0) !fuel in
+  if deadline_s <> None || fuel <> None then
+    governor :=
+      Some
+        (Budget.v ?deadline_s ?rounds:fuel ?elements:fuel ?facts:fuel
+           ?rewrite_steps:fuel ?refine_steps:fuel ?nodes:fuel ())
+
 let header title =
   Fmt.pr "@.================================================================@.";
   Fmt.pr "%s@." title;
@@ -24,7 +48,10 @@ let time_it f =
   (r, Unix.gettimeofday () -. t0)
 
 let pipeline_outcome theory db q =
-  match Finitemodel.Pipeline.construct theory db q with
+  let params =
+    { Finitemodel.Pipeline.default_params with budget = !governor }
+  in
+  match Finitemodel.Pipeline.construct ~params theory db q with
   | Finitemodel.Pipeline.Model (cert, stats) ->
       let ok = Finitemodel.Certificate.is_valid cert in
       Printf.sprintf "model(%d elts, verified %b, n=%s)"
@@ -178,11 +205,12 @@ let thm2_vs_naive () =
     let params =
       { Finitemodel.Naive.default_search_params with max_size; max_nodes }
     in
-    match Finitemodel.Naive.search ~params theory d q with
+    match Finitemodel.Naive.search ?budget:!governor ~params theory d q with
     | Finitemodel.Naive.Found m ->
         Printf.sprintf "model(%d elts)" (I.num_elements m)
     | Finitemodel.Naive.Exhausted -> "exhausted"
-    | Finitemodel.Naive.Budget_out -> "budget out"
+    | Finitemodel.Naive.Budget_out { tripped; _ } ->
+        Printf.sprintf "budget out (%s)" (Budget.resource_name tripped)
   in
   Fmt.pr "%-14s %-34s %-10s %-22s %-10s@." "instance" "pipeline" "time(s)"
     "naive search" "time(s)";
@@ -255,23 +283,31 @@ let nonfc_evidence () =
         (Hom.Eval.holds r.Chase.Chase.instance e.Zoo.query))
     [ 2; 4; 8; 12 ];
   (match
-     Finitemodel.Naive.exhaustive_absence ~max_candidates:20 ~max_extra:1
-       e.Zoo.theory d e.Zoo.query
+     Finitemodel.Naive.exhaustive_absence ?budget:!governor
+       ~max_candidates:20 ~max_extra:1 e.Zoo.theory d e.Zoo.query
    with
   | Finitemodel.Naive.No_model ->
       Fmt.pr "exhaustive: no countermodel with <= 1 extra element@."
   | Finitemodel.Naive.Counter_model _ -> Fmt.pr "?! countermodel found@."
-  | Finitemodel.Naive.Too_large k -> Fmt.pr "guard hit (%d candidates)@." k);
+  | Finitemodel.Naive.Too_large k -> Fmt.pr "guard hit (%d candidates)@." k
+  | Finitemodel.Naive.Absence_exhausted r ->
+      Fmt.pr "exhaustive: %s budget exhausted, nothing proved@."
+        (Budget.resource_name r));
   let params =
     { Finitemodel.Naive.default_search_params with
       max_size = 7;
       max_nodes = 30_000;
     }
   in
-  (match Finitemodel.Naive.search ~params e.Zoo.theory d e.Zoo.query with
+  (match
+     Finitemodel.Naive.search ?budget:!governor ~params e.Zoo.theory d
+       e.Zoo.query
+   with
   | Finitemodel.Naive.Found _ -> Fmt.pr "?! search found a countermodel@."
   | Finitemodel.Naive.Exhausted -> Fmt.pr "search: exhausted, none found@."
-  | Finitemodel.Naive.Budget_out -> Fmt.pr "search: budget out, none found@.");
+  | Finitemodel.Naive.Budget_out { tripped; nodes } ->
+      Fmt.pr "search: %s budget out after %d nodes, none found@."
+        (Budget.resource_name tripped) nodes);
   Fmt.pr "pipeline: %s@." (pipeline_outcome e.Zoo.theory d e.Zoo.query)
 
 (* ------------------------------------------------------------------ *)
@@ -472,6 +508,7 @@ let micro () =
     (List.sort compare rows)
 
 let () =
+  parse_args ();
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();

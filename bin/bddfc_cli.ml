@@ -12,10 +12,36 @@
      e(X,Y) -> exists Z. e(Y,Z).
      e(a,b).
      ? u(X,Y).
-*)
+
+   Exit codes (scripting contract):
+
+     0  success — a countermodel was found / the command completed
+     2  input error — unreadable or malformed program file
+     3  the query is entailed (certain): no countermodel exists
+     4  unknown — budgets exhausted before a conclusion
+
+   Every command accepts --timeout/--fuel: one governor is threaded
+   through all engines, and exhaustion degrades to the "unknown" exit
+   code rather than hanging or crashing.  --fuel-trap injects a
+   deterministic forced exhaustion after N budget charges (testing). *)
 
 open Bddfc
 open Cmdliner
+
+let exit_ok = Cmd.Exit.ok (* 0 *)
+let exit_input_error = 2
+let exit_entailed = 3
+let exit_unknown = 4
+
+let exits =
+  Cmd.Exit.info exit_input_error
+    ~doc:"on bad input: an unreadable or malformed file, or a command-line \
+          usage error."
+  :: Cmd.Exit.info exit_entailed
+       ~doc:"when the query is certain: no countermodel exists."
+  :: Cmd.Exit.info exit_unknown
+       ~doc:"when budgets were exhausted before a conclusion."
+  :: Cmd.Exit.defaults
 
 let read_file path =
   let ic = open_in_bin path in
@@ -31,6 +57,30 @@ let load path =
   let db = Structure.Instance.of_atoms p.Logic.Parser.facts in
   (theory, db, p.Logic.Parser.queries)
 
+(* Run [k] on the loaded program, turning parse errors and malformed
+   input into a one-line diagnostic plus the input-error exit code —
+   never a backtrace. *)
+let with_program path k =
+  match load path with
+  | exception Logic.Parser.Parse_error msg ->
+      Fmt.epr "bddfc: %s: parse error: %s@." path msg;
+      exit_input_error
+  | exception Sys_error msg ->
+      Fmt.epr "bddfc: %s@." msg;
+      exit_input_error
+  | exception Invalid_argument msg ->
+      Fmt.epr "bddfc: %s: invalid input: %s@." path msg;
+      exit_input_error
+  | program -> (
+      match k program with
+      | code -> code
+      | exception Invalid_argument msg ->
+          Fmt.epr "bddfc: %s: invalid input: %s@." path msg;
+          exit_input_error
+      | exception Failure msg ->
+          Fmt.epr "bddfc: %s: %s@." path msg;
+          exit_input_error)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
@@ -41,6 +91,44 @@ let file_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* One governor for the whole invocation: a wall-clock deadline plus a
+   uniform fuel allowance across every counter the engines charge. *)
+let budget_term =
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock deadline for the whole run; on expiry the \
+                   engines stop cooperatively and the result is reported \
+                   as unknown.")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Uniform fuel for every engine counter (chase rounds, \
+                   fresh elements, derived facts, rewrite steps, \
+                   refinement steps, search nodes).")
+  in
+  let trap =
+    Arg.(value & opt (some int) None
+         & info [ "fuel-trap" ] ~docv:"N"
+             ~doc:"Fault injection: force budget exhaustion after $(docv) \
+                   charge points (for testing graceful degradation).")
+  in
+  let make timeout fuel trap =
+    match (timeout, fuel, trap) with
+    | None, None, None -> None
+    | _ ->
+        let b =
+          Budget.v ?deadline_s:timeout ?rounds:fuel ?elements:fuel ?facts:fuel
+            ?rewrite_steps:fuel ?refine_steps:fuel ?nodes:fuel ()
+        in
+        Some
+          (match trap with
+          | None -> b
+          | Some n -> Budget.with_fuel_trap ~after:n b)
+  in
+  Term.(const make $ timeout $ fuel $ trap)
 
 (* ----------------------------- chase ----------------------------- *)
 
@@ -56,27 +144,27 @@ let chase_cmd =
           Chase.Chase.Restricted
       & info [ "variant" ] ~doc:"Chase variant: restricted or oblivious.")
   in
-  let run file rounds variant verbose =
+  let run file rounds variant budget verbose =
     setup_logs verbose;
-    let theory, db, queries = load file in
-    let r = Chase.Chase.run ~variant ~max_rounds:rounds theory db in
+    with_program file @@ fun (theory, db, queries) ->
+    let r = Chase.Chase.run ~variant ?budget ~max_rounds:rounds theory db in
     Fmt.pr "%a@." Structure.Instance.pp r.Chase.Chase.instance;
-    Fmt.pr "-- rounds: %d, elements: %d, facts: %d, %s@."
+    Fmt.pr "-- rounds: %d, elements: %d, facts: %d, %a@."
       r.Chase.Chase.rounds
       (Structure.Instance.num_elements r.Chase.Chase.instance)
       (Structure.Instance.num_facts r.Chase.Chase.instance)
-      (match r.Chase.Chase.outcome with
-      | Chase.Chase.Fixpoint -> "fixpoint (the result is a model)"
-      | Chase.Chase.Round_budget -> "round budget exhausted"
-      | Chase.Chase.Element_budget -> "element budget exhausted");
+      Chase.Chase.pp_outcome r.Chase.Chase.outcome;
     List.iter
       (fun q ->
         Fmt.pr "-- %a : %b@." Logic.Cq.pp q
           (Hom.Eval.holds r.Chase.Chase.instance q))
-      queries
+      queries;
+    match r.Chase.Chase.outcome with
+    | Chase.Chase.Exhausted _ -> exit_unknown
+    | Chase.Chase.Fixpoint | Chase.Chase.Watched -> exit_ok
   in
-  Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file.")
-    Term.(const run $ file_arg $ rounds $ variant $ verbose_arg)
+  Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file." ~exits)
+    Term.(const run $ file_arg $ rounds $ variant $ budget_term $ verbose_arg)
 
 (* ---------------------------- rewrite ---------------------------- *)
 
@@ -84,36 +172,43 @@ let rewrite_cmd =
   let max_disjuncts =
     Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
   in
-  let run file max_disjuncts verbose =
+  let run file max_disjuncts budget verbose =
     setup_logs verbose;
-    let theory, _, queries = load file in
+    with_program file @@ fun (theory, _, queries) ->
     if queries = [] then Fmt.epr "no queries in %s@." file;
+    let all_complete = ref true in
     List.iter
       (fun q ->
-        let r = Rewriting.Rewrite.rewrite ~max_disjuncts theory q in
+        let r = Rewriting.Rewrite.rewrite ?budget ~max_disjuncts theory q in
+        if not r.Rewriting.Rewrite.complete then all_complete := false;
         Fmt.pr "@[<v>query: %a@,complete (BDD for this query): %b@,%a@,@]"
           Logic.Cq.pp q r.Rewriting.Rewrite.complete
           Fmt.(list ~sep:cut (fun ppf d -> Fmt.pf ppf "  | %a" Logic.Cq.pp d))
           r.Rewriting.Rewrite.ucq)
-      queries
+      queries;
+    if !all_complete then exit_ok else exit_unknown
   in
   Cmd.v
-    (Cmd.info "rewrite" ~doc:"Compute positive first-order (UCQ) rewritings.")
-    Term.(const run $ file_arg $ max_disjuncts $ verbose_arg)
+    (Cmd.info "rewrite" ~doc:"Compute positive first-order (UCQ) rewritings."
+       ~exits)
+    Term.(const run $ file_arg $ max_disjuncts $ budget_term $ verbose_arg)
 
 (* ---------------------------- classify --------------------------- *)
 
 let classify_cmd =
-  let run file verbose =
+  let run file budget verbose =
     setup_logs verbose;
-    let theory, _, _ = load file in
+    with_program file @@ fun (theory, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
-    let k = Rewriting.Rewrite.kappa ~max_disjuncts:100 ~max_steps:2000 theory in
+    let k =
+      Rewriting.Rewrite.kappa ?budget ~max_disjuncts:100 ~max_steps:2000 theory
+    in
     Fmt.pr "kappa: %d (rewritings complete: %b)@." k.Rewriting.Rewrite.kappa
-      k.Rewriting.Rewrite.all_complete
+      k.Rewriting.Rewrite.all_complete;
+    exit_ok
   in
-  Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory.")
-    Term.(const run $ file_arg $ verbose_arg)
+  Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
+    Term.(const run $ file_arg $ budget_term $ verbose_arg)
 
 (* ----------------------------- model ----------------------------- *)
 
@@ -121,16 +216,21 @@ let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth verbose =
+  let run file depth budget verbose =
     setup_logs verbose;
-    let theory, db, queries = load file in
+    with_program file @@ fun (theory, db, queries) ->
     match queries with
-    | [] -> Fmt.epr "model: the file needs a query@."
-    | q :: _ ->
+    | [] ->
+        Fmt.epr "bddfc: %s: the model command needs a query@." file;
+        exit_input_error
+    | q :: _ -> (
         let params =
-          { Finitemodel.Pipeline.default_params with chase_depth = depth }
+          { Finitemodel.Pipeline.default_params with
+            chase_depth = depth;
+            budget;
+          }
         in
-        (match Finitemodel.Pipeline.construct ~params theory db q with
+        match Finitemodel.Pipeline.construct ~params theory db q with
         | Finitemodel.Pipeline.Model (cert, stats) ->
             Fmt.pr "finite countermodel found (n=%s, kappa=%d, m=%d):@."
               (match stats.Finitemodel.Pipeline.n_used with
@@ -140,42 +240,61 @@ let model_cmd =
               stats.Finitemodel.Pipeline.m_used;
             Fmt.pr "%a@." Structure.Instance.pp cert.Finitemodel.Certificate.model;
             Fmt.pr "-- verified: %b@."
-              (Finitemodel.Certificate.is_valid cert)
+              (Finitemodel.Certificate.is_valid cert);
+            exit_ok
         | Finitemodel.Pipeline.Query_entailed d ->
-            Fmt.pr "the query is certain (chase depth %d): no countermodel exists@." d
-        | Finitemodel.Pipeline.Unknown (why, _) ->
-            Fmt.pr "unknown: %s@." why)
+            Fmt.pr "the query is certain (chase depth %d): no countermodel exists@." d;
+            exit_entailed
+        | Finitemodel.Pipeline.Unknown (why, stats) ->
+            (match stats.Finitemodel.Pipeline.tripped with
+            | Some r ->
+                Fmt.pr "unknown: %s [budget: %s]@." why (Budget.resource_name r)
+            | None -> Fmt.pr "unknown: %s@." why);
+            exit_unknown)
   in
   Cmd.v
     (Cmd.info "model"
        ~doc:
          "Run the Theorem 2 pipeline: find a finite model of the facts and \
-          rules avoiding the query.")
-    Term.(const run $ file_arg $ depth $ verbose_arg)
+          rules avoiding the query."
+       ~exits)
+    Term.(const run $ file_arg $ depth $ budget_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file verbose =
+  let run file budget verbose =
     setup_logs verbose;
-    let theory, db, queries = load file in
+    with_program file @@ fun (theory, db, queries) ->
     match queries with
-    | [] -> Fmt.epr "judge: the file needs a query@."
+    | [] ->
+        Fmt.epr "bddfc: %s: the judge command needs a query@." file;
+        exit_input_error
     | q :: _ ->
-        let v = Finitemodel.Judge.judge theory db q in
+        let jb =
+          { Finitemodel.Judge.default_budget with
+            pipeline_params =
+              { Finitemodel.Pipeline.default_params with budget };
+          }
+        in
+        let v = Finitemodel.Judge.judge ~budget:jb theory db q in
         Fmt.pr "%a@." Finitemodel.Judge.pp v;
         (match v.Finitemodel.Judge.evidence with
         | Finitemodel.Judge.Witness (cert, _) ->
             Fmt.pr "@.model:@.%a@." Structure.Instance.pp
-              cert.Finitemodel.Certificate.model
-        | _ -> ())
+              cert.Finitemodel.Certificate.model;
+            exit_ok
+        | Finitemodel.Judge.Certain _ -> exit_entailed
+        | Finitemodel.Judge.No_small_model _ | Finitemodel.Judge.Open _ ->
+            exit_unknown)
   in
   Cmd.v
     (Cmd.info "judge"
        ~doc:
          "Everything the library can say about finite controllability of \
-          the file's (rules, facts, query) triple.")
-    Term.(const run $ file_arg $ verbose_arg)
+          the file's (rules, facts, query) triple."
+       ~exits)
+    Term.(const run $ file_arg $ budget_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -187,20 +306,22 @@ let dot_cmd =
   let rounds =
     Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Chase rounds before export.")
   in
-  let run file out rounds verbose =
+  let run file out rounds budget verbose =
     setup_logs verbose;
-    let theory, db, _ = load file in
-    let r = Chase.Chase.run ~max_rounds:rounds theory db in
+    with_program file @@ fun (theory, db, _) ->
+    let r = Chase.Chase.run ?budget ~max_rounds:rounds theory db in
     let dot = Structure.Dot.to_string r.Chase.Chase.instance in
-    match out with
+    (match out with
     | None -> print_string dot
     | Some path ->
         Structure.Dot.to_file path r.Chase.Chase.instance;
-        Fmt.pr "wrote %s@." path
+        Fmt.pr "wrote %s@." path);
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Chase the program and export the result as GraphViz.")
-    Term.(const run $ file_arg $ out $ rounds $ verbose_arg)
+    (Cmd.info "dot" ~doc:"Chase the program and export the result as GraphViz."
+       ~exits)
+    Term.(const run $ file_arg $ out $ rounds $ budget_term $ verbose_arg)
 
 (* ------------------------------ zoo ------------------------------ *)
 
@@ -209,7 +330,7 @@ let zoo_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
            ~doc:"Zoo entry to run (omit to list).")
   in
-  let run name verbose =
+  let run name budget verbose =
     setup_logs verbose;
     match name with
     | None ->
@@ -217,39 +338,54 @@ let zoo_cmd =
           (fun (e : Workload.Zoo.entry) ->
             Fmt.pr "%-16s %-14s %a@." e.Workload.Zoo.name e.Workload.Zoo.reference
               Logic.Cq.pp e.Workload.Zoo.query)
-          Workload.Zoo.all
+          Workload.Zoo.all;
+        exit_ok
     | Some n -> (
         match Workload.Zoo.find n with
-        | None -> Fmt.epr "unknown zoo entry %s@." n
-        | Some e ->
+        | None ->
+            Fmt.epr "bddfc: unknown zoo entry %s@." n;
+            exit_input_error
+        | Some e -> (
             Fmt.pr "@[<v>%s (%s)@,theory:@,%a@,query: %a@,@]"
               e.Workload.Zoo.name e.Workload.Zoo.reference Logic.Theory.pp
               e.Workload.Zoo.theory Logic.Cq.pp e.Workload.Zoo.query;
             let db = Workload.Zoo.database_instance e in
-            (match
-               Finitemodel.Pipeline.construct e.Workload.Zoo.theory db
-                 e.Workload.Zoo.query
-             with
+            let params = { Finitemodel.Pipeline.default_params with budget } in
+            match
+              Finitemodel.Pipeline.construct ~params e.Workload.Zoo.theory db
+                e.Workload.Zoo.query
+            with
             | Finitemodel.Pipeline.Model (cert, _) ->
                 Fmt.pr "pipeline: model with %d elements (verified %b)@."
                   (Structure.Instance.num_elements
                      cert.Finitemodel.Certificate.model)
-                  (Finitemodel.Certificate.is_valid cert)
+                  (Finitemodel.Certificate.is_valid cert);
+                exit_ok
             | Finitemodel.Pipeline.Query_entailed d ->
-                Fmt.pr "pipeline: query certain at depth %d@." d
+                Fmt.pr "pipeline: query certain at depth %d@." d;
+                exit_entailed
             | Finitemodel.Pipeline.Unknown (why, _) ->
-                Fmt.pr "pipeline: unknown (%s)@." why))
+                Fmt.pr "pipeline: unknown (%s)@." why;
+                exit_unknown))
   in
-  Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo.")
-    Term.(const run $ entry_name $ verbose_arg)
+  Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
+    Term.(const run $ entry_name $ budget_term $ verbose_arg)
 
 let main =
   let info =
     Cmd.info "bddfc" ~version:"1.0.0"
       ~doc:"Chase, rewriting and finite-model tools for Datalog-exists"
+      ~exits
   in
   Cmd.group info
     [ chase_cmd; rewrite_cmd; classify_cmd; model_cmd; judge_cmd; dot_cmd;
       zoo_cmd ]
 
-let () = exit (Cmd.eval main)
+(* command-line usage errors share the input-error code so every
+   "you gave me bad input" failure is scriptable as exit 2 *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit exit_ok
+  | Error (`Parse | `Term) -> exit exit_input_error
+  | Error `Exn -> exit Cmd.Exit.internal_error

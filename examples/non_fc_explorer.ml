@@ -36,7 +36,9 @@ let () =
   | Finitemodel.Naive.No_model ->
       Fmt.pr "exhaustive check: no countermodel with <= 1 extra element@."
   | Finitemodel.Naive.Counter_model _ -> Fmt.pr "?! found a countermodel@."
-  | Finitemodel.Naive.Too_large k -> Fmt.pr "guard hit at %d candidates@." k);
+  | Finitemodel.Naive.Too_large k -> Fmt.pr "guard hit at %d candidates@." k
+  | Finitemodel.Naive.Absence_exhausted r ->
+      Fmt.pr "budget out (%s): nothing proved@." (Budget.resource_name r));
 
   (* ... then by search up to larger sizes *)
   let params =
@@ -50,8 +52,9 @@ let () =
       Fmt.pr "?! search found a countermodel: %a@." Structure.Instance.pp m
   | Finitemodel.Naive.Exhausted ->
       Fmt.pr "search: space exhausted up to 7 elements — no countermodel@."
-  | Finitemodel.Naive.Budget_out ->
-      Fmt.pr "search: node budget exhausted without a countermodel@.");
+  | Finitemodel.Naive.Budget_out { tripped; nodes } ->
+      Fmt.pr "search: %s budget exhausted after %d nodes — no countermodel@."
+        (Budget.resource_name tripped) nodes);
 
   (* the pipeline is honest about it *)
   (match Finitemodel.Pipeline.construct theory db query with

@@ -12,8 +12,16 @@
        holds of the skeleton.
 
    An oblivious variant (one witness per rule-and-body-homomorphism, no
-   witness check) is provided for comparison benchmarks. *)
+   witness check) is provided for comparison benchmarks.
 
+   All truncation is governed by a Budget.t: the engine charges the
+   governor per round, per fresh element and per added fact, catches
+   Budget.Exhausted at its boundary and returns the partial prefix
+   together with the tripped resource (anytime semantics).  The legacy
+   [max_rounds]/[max_elements] knobs are local ceilings layered on top of
+   the caller's governor. *)
+
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -24,8 +32,8 @@ type variant =
 
 type outcome =
   | Fixpoint (* no trigger fired: the result is a model *)
-  | Round_budget (* stopped by max_rounds *)
-  | Element_budget (* stopped by max_elements *)
+  | Watched (* the watched predicate appeared; stopped early *)
+  | Exhausted of Budget.resource (* a budget tripped; the result is a prefix *)
 
 type result = {
   instance : Instance.t;
@@ -33,9 +41,15 @@ type result = {
   outcome : outcome;
   base_facts : Fact.t list; (* the facts of the input instance D *)
   new_facts_per_round : int list; (* newest round first *)
+  watch_round : int option; (* first round the watched predicate appeared *)
 }
 
 let is_model result = result.outcome = Fixpoint
+
+let pp_outcome ppf = function
+  | Fixpoint -> Fmt.string ppf "fixpoint (the result is a model)"
+  | Watched -> Fmt.string ppf "watched predicate derived"
+  | Exhausted r -> Fmt.pf ppf "%s budget exhausted" (Budget.resource_name r)
 
 let src = Logs.Src.create "bddfc.chase" ~doc:"Chase engine"
 
@@ -84,12 +98,21 @@ type round_stats = { fired_datalog : int; fired_existential : int }
 
 (* One simultaneous chase round on [inst].  Returns the number of facts
    added.  [snapshot] is a copy used for body evaluation and witness
-   checks. *)
-let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
-    theory inst =
+   checks.  Fresh elements and added facts are charged to [budget]; a
+   trip mid-round leaves a partial round behind (best effort). *)
+let round ?(variant = Restricted) ?(datalog_only = false) ?fired
+    ~(budget : Budget.t) ~round_no theory inst =
   let snapshot = Instance.copy inst in
   let added = ref 0 in
   let stats = ref { fired_datalog = 0; fired_existential = 0 } in
+  let add f =
+    if Instance.add_fact inst f then begin
+      incr added;
+      Budget.charge budget Budget.Facts 1;
+      true
+    end
+    else false
+  in
   (* [fired] persists across rounds (needed for the oblivious variant,
      where a trigger must fire exactly once ever); without it the table is
      per-round, which is enough for the restricted variant because the
@@ -110,11 +133,9 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
                         invalid_arg ("Chase.round: unbound head variable " ^ x))
                       head_atom
                   in
-                  if Instance.add_fact inst f then begin
-                    incr added;
+                  if add f then
                     stats :=
-                      { !stats with fired_datalog = !stats.fired_datalog + 1 }
-                  end)
+                      { !stats with fired_datalog = !stats.fired_datalog + 1 })
                 (Rule.head rule)
             end
             else begin
@@ -158,6 +179,7 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
                   match Hashtbl.find_opt fresh_cache x with
                   | Some id -> id
                   | None ->
+                      Budget.charge budget Budget.Elements 1;
                       let id =
                         Instance.fresh_null inst ~birth:round_no
                           ~rule:(Rule.name rule) ~parent
@@ -167,8 +189,7 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
                 in
                 List.iter
                   (fun head_atom ->
-                    let f = instantiate inst binding fresh head_atom in
-                    if Instance.add_fact inst f then incr added)
+                    ignore (add (instantiate inst binding fresh head_atom)))
                   (Rule.head rule);
                 stats :=
                   { !stats with
@@ -179,58 +200,112 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired ~round_no
     (Theory.rules theory);
   (!added, !stats)
 
-let run ?(variant = Restricted) ?(datalog_only = false) ?(max_rounds = 64)
-    ?(max_elements = 100_000) theory base =
+let default_rounds = 64
+let default_elements = 100_000
+
+(* Combine a caller-supplied governor with the per-call legacy knobs.
+   With a governor, the knobs are local ceilings on top of its shared
+   pools; without one, the knobs (or their historical defaults) become a
+   fresh self-contained budget. *)
+let effective_budget ?budget ?max_rounds ?max_elements () =
+  match budget with
+  | Some b -> Budget.cap ?rounds:max_rounds ?elements:max_elements b
+  | None ->
+      Budget.v
+        ~rounds:(Option.value max_rounds ~default:default_rounds)
+        ~elements:(Option.value max_elements ~default:default_elements)
+        ()
+
+let run ?(variant = Restricted) ?(datalog_only = false) ?watch ?budget
+    ?max_rounds ?max_elements theory base =
+  let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   let inst = Instance.copy base in
   let base_facts = Instance.facts base in
   let per_round = ref [] in
   let fired = Hashtbl.create 64 in
-  let rec go i =
-    if i >= max_rounds then (i, Round_budget)
-    else if Instance.num_elements inst > max_elements then (i, Element_budget)
-    else begin
-      let added, _ =
-        round ~variant ~datalog_only
-          ?fired:(if variant = Oblivious then Some fired else None)
-          ~round_no:(i + 1) theory inst
-      in
-      per_round := added :: !per_round;
-      Log.debug (fun m -> m "round %d: %d new facts" (i + 1) added);
-      if added = 0 then (i, Fixpoint) else go (i + 1)
-    end
+  let rounds = ref 0 in
+  let watch_round = ref None in
+  let watch_hit i =
+    match watch with
+    | None -> false
+    | Some p ->
+        !watch_round = None
+        && Instance.facts_with_pred inst p <> []
+        && begin
+             watch_round := Some i;
+             true
+           end
   in
-  let rounds, outcome = go 0 in
-  { instance = inst; rounds; outcome; base_facts; new_facts_per_round = !per_round }
+  let rec go i =
+    Budget.check_deadline budget;
+    Budget.charge budget Budget.Rounds 1;
+    let added, _ =
+      round ~variant ~datalog_only
+        ?fired:(if variant = Oblivious then Some fired else None)
+        ~budget ~round_no:(i + 1) theory inst
+    in
+    per_round := added :: !per_round;
+    rounds := i + 1;
+    Log.debug (fun m -> m "round %d: %d new facts" (i + 1) added);
+    if watch_hit (i + 1) then Watched
+    else if added = 0 then begin
+      (* the empty round is not counted: [rounds] is the number of
+         productive rounds, as before *)
+      rounds := i;
+      Fixpoint
+    end
+    else go (i + 1)
+  in
+  let outcome =
+    try if watch_hit 0 then Watched else go 0
+    with Budget.Exhausted r -> Exhausted r
+  in
+  {
+    instance = inst;
+    rounds = !rounds;
+    outcome;
+    base_facts;
+    new_facts_per_round = !per_round;
+    watch_round = !watch_round;
+  }
 
-(* Chase^k(D, T): exactly [k] rounds (or fewer if a fixpoint hits). *)
-let run_depth ?(variant = Restricted) ~depth theory base =
-  run ~variant ~max_rounds:depth ~max_elements:max_int theory base
+(* Chase^k(D, T): exactly [k] rounds (or fewer if a fixpoint hits).
+   Routed through the governor like everything else: element fuel always
+   applies (historically this passed [max_int], silently defeating any
+   element budget). *)
+let run_depth ?(variant = Restricted) ?budget ~depth theory base =
+  run ~variant ?budget ~max_rounds:depth ~max_elements:1_000_000 theory base
 
 (* Datalog saturation: chase with the datalog rules only.  On a finite
-   instance this always terminates (no new elements are created). *)
-let saturate_datalog ?(max_rounds = 10_000) theory base =
-  run ~datalog_only:true ~max_rounds ~max_elements:max_int theory base
+   instance this always terminates (no new elements are created) unless
+   the governor's deadline trips first. *)
+let saturate_datalog ?budget ?(max_rounds = 10_000) theory base =
+  run ~datalog_only:true ?budget ~max_rounds theory base
 
 (* Certain answering by chase: does Chase(D, T) |= q, and at which depth?
    Checks the query after every round. *)
 type certainty =
   | Entailed of int (* least chase depth at which the query held *)
   | Not_entailed (* chase reached a fixpoint without satisfying q *)
-  | Unknown of int (* budget exhausted after this many rounds *)
+  | Unknown of Budget.resource * int
+      (* this budget exhausted after that many rounds *)
 
-let certain ?(max_rounds = 64) ?(max_elements = 100_000) theory base q =
+let certain ?budget ?max_rounds ?max_elements theory base q =
+  let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   let inst = Instance.copy base in
-  if Eval.holds inst q then Entailed 0
-  else begin
-    let rec go i =
-      if i >= max_rounds then Unknown i
-      else if Instance.num_elements inst > max_elements then Unknown i
-      else begin
-        let added, _ = round ~round_no:(i + 1) theory inst in
+  let rounds = ref 0 in
+  try
+    if Eval.holds inst q then Entailed 0
+    else begin
+      let rec go i =
+        Budget.check_deadline budget;
+        Budget.charge budget Budget.Rounds 1;
+        let added, _ = round ~budget ~round_no:(i + 1) theory inst in
+        rounds := i + 1;
         if Eval.holds inst q then Entailed (i + 1)
         else if added = 0 then Not_entailed
         else go (i + 1)
-      end
-    in
-    go 0
-  end
+      in
+      go 0
+    end
+  with Budget.Exhausted r -> Unknown (r, !rounds)

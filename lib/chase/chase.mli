@@ -6,8 +6,18 @@
     and within a round at most one witness is created per demanded head
     instance — this is what makes Lemma 3 (skeleton forests of bounded
     degree) true.  The oblivious variant creates one witness per body
-    homomorphism, exactly once ever. *)
+    homomorphism, exactly once ever.
 
+    Truncation is governed by a {!Bddfc_budget.Budget.t}: the engine
+    charges rounds, fresh elements and added facts, checks the deadline
+    cooperatively, and on exhaustion returns the partial prefix together
+    with the tripped resource — it never raises
+    {!Bddfc_budget.Budget.Exhausted} to callers.  The legacy
+    [max_rounds]/[max_elements] knobs are local ceilings layered on top
+    of the caller's governor (historical defaults apply when no governor
+    is given). *)
+
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -18,8 +28,9 @@ type variant =
 
 type outcome =
   | Fixpoint (** no trigger fired: the result is a model *)
-  | Round_budget
-  | Element_budget
+  | Watched (** the watched predicate appeared; the chase stopped early *)
+  | Exhausted of Budget.resource
+      (** this budget tripped: the result is a truncated prefix *)
 
 type result = {
   instance : Instance.t;
@@ -27,9 +38,12 @@ type result = {
   outcome : outcome;
   base_facts : Fact.t list; (** the facts of the input instance [D] *)
   new_facts_per_round : int list; (** newest round first *)
+  watch_round : int option;
+      (** first round at which the watched predicate appeared *)
 }
 
 val is_model : result -> bool
+val pp_outcome : outcome Fmt.t
 
 val instantiate :
   Instance.t -> Eval.binding -> (string -> Element.id) -> Atom.t -> Fact.t
@@ -40,23 +54,32 @@ val instantiate :
 val run :
   ?variant:variant ->
   ?datalog_only:bool ->
+  ?watch:Pred.t ->
+  ?budget:Budget.t ->
   ?max_rounds:int ->
   ?max_elements:int ->
   Theory.t -> Instance.t -> result
-(** Chase a copy of the instance (the input is not mutated). *)
+(** Chase a copy of the instance (the input is not mutated).  [watch]
+    stops the chase as soon as a fact of that predicate appears,
+    recording the round in [watch_round]. *)
 
-val run_depth : ?variant:variant -> depth:int -> Theory.t -> Instance.t -> result
-(** [Chase^depth(D, T)], unbounded in elements. *)
+val run_depth :
+  ?variant:variant -> ?budget:Budget.t -> depth:int ->
+  Theory.t -> Instance.t -> result
+(** [Chase^depth(D, T)].  Element fuel always applies (a governor's, or a
+    generous default — never unbounded). *)
 
-val saturate_datalog : ?max_rounds:int -> Theory.t -> Instance.t -> result
+val saturate_datalog :
+  ?budget:Budget.t -> ?max_rounds:int -> Theory.t -> Instance.t -> result
 (** Fixpoint of the datalog rules only; never creates elements. *)
 
 type certainty =
   | Entailed of int (** least chase depth at which the query held *)
   | Not_entailed (** the chase reached a fixpoint without the query *)
-  | Unknown of int (** budget exhausted after this many rounds *)
+  | Unknown of Budget.resource * int
+      (** this budget exhausted after that many rounds *)
 
 val certain :
-  ?max_rounds:int -> ?max_elements:int -> Theory.t -> Instance.t -> Cq.t ->
-  certainty
+  ?budget:Budget.t -> ?max_rounds:int -> ?max_elements:int ->
+  Theory.t -> Instance.t -> Cq.t -> certainty
 (** Certain answering: does [Chase(D, T) |= q]? *)

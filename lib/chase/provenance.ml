@@ -9,6 +9,7 @@
    go; the test suite checks that the replay reaches the same fixpoint as
    Chase.run. *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -26,6 +27,7 @@ type t = {
   reasons : reason Fact.Table.t;
   rounds : int;
   saturated : bool;
+  tripped : Budget.resource option; (* which budget stopped the replay *)
 }
 
 let reason_of t f = Fact.Table.find_opt t.reasons f
@@ -50,7 +52,16 @@ let body_facts inst binding atoms =
       Fact.make (Atom.pred a) (Array.of_list ids))
     atoms
 
-let run ?(max_rounds = 64) ?(max_elements = 100_000) theory base =
+let run ?budget ?max_rounds ?max_elements theory base =
+  let budget =
+    match budget with
+    | Some b -> Budget.cap ?rounds:max_rounds ?elements:max_elements b
+    | None ->
+        Budget.v
+          ~rounds:(Option.value max_rounds ~default:64)
+          ~elements:(Option.value max_elements ~default:100_000)
+          ()
+  in
   let inst = Instance.copy base in
   let reasons : reason Fact.Table.t = Fact.Table.create 256 in
   Instance.iter_facts (fun f -> Fact.Table.replace reasons f Given) inst;
@@ -64,10 +75,10 @@ let run ?(max_rounds = 64) ?(max_elements = 100_000) theory base =
              body = body_facts inst binding (Rule.body rule);
            })
   in
+  let rounds_done = ref 0 in
   let rec go i =
-    if i >= max_rounds || Instance.num_elements inst > max_elements then
-      (i, false)
-    else begin
+      Budget.check_deadline budget;
+      Budget.charge budget Budget.Rounds 1;
       let snapshot = Instance.copy inst in
       let added = ref 0 in
       let demanded = Hashtbl.create 32 in
@@ -109,6 +120,7 @@ let run ?(max_rounds = 64) ?(max_elements = 100_000) theory base =
                     match Hashtbl.find_opt fresh_cache _x with
                     | Some id -> id
                     | None ->
+                        Budget.charge budget Budget.Elements 1;
                         let id =
                           Instance.fresh_null inst ~birth:(i + 1)
                             ~rule:(Rule.name rule) ~parent:None
@@ -127,11 +139,20 @@ let run ?(max_rounds = 64) ?(max_elements = 100_000) theory base =
                 end
               end))
         (Theory.rules theory);
-      if !added = 0 then (i, true) else go (i + 1)
-    end
+      if !added = 0 then (i, true)
+      else begin
+        rounds_done := i + 1;
+        go (i + 1)
+      end
   in
-  let rounds, saturated = go 0 in
-  { instance = inst; reasons; rounds; saturated }
+  let rounds, saturated, tripped =
+    match go 0 with
+    | rounds, saturated -> (rounds, saturated, None)
+    | exception Budget.Exhausted r ->
+        (* the replay stops mid-prefix: everything recorded so far stands *)
+        (!rounds_done, false, Some r)
+  in
+  { instance = inst; reasons; rounds; saturated; tripped }
 
 (* A derivation tree for a fact. *)
 type tree =

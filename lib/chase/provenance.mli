@@ -2,6 +2,7 @@
     fact, the first rule application that produced it; derivation trees;
     derivation depth (the quantity the BDD property bounds, Section 1.1). *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 
@@ -14,9 +15,13 @@ type t = {
   reasons : reason Fact.Table.t;
   rounds : int;
   saturated : bool;
+  tripped : Budget.resource option;
+      (** which budget stopped the replay, if any *)
 }
 
-val run : ?max_rounds:int -> ?max_elements:int -> Theory.t -> Instance.t -> t
+val run :
+  ?budget:Budget.t -> ?max_rounds:int -> ?max_elements:int ->
+  Theory.t -> Instance.t -> t
 val reason_of : t -> Fact.t -> reason option
 
 type tree =

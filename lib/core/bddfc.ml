@@ -10,6 +10,7 @@
       | _ -> ...
     ]} *)
 
+module Budget = Bddfc_budget.Budget
 module Logic = Bddfc_logic
 module Structure = Bddfc_structure
 module Hom = Bddfc_hom

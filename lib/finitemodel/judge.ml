@@ -50,14 +50,20 @@ let default_budget =
   }
 
 let judge ?(budget = default_budget) theory db query =
+  let governor = budget.pipeline_params.Pipeline.budget in
   let classes = Classes.Recognize.report theory in
   let kappa =
     if Theory.all_single_head theory then
-      Rewriting.Rewrite.kappa
+      Rewriting.Rewrite.kappa ?budget:governor
         ~max_disjuncts:budget.pipeline_params.Pipeline.rewrite_max_disjuncts
         ~max_steps:budget.pipeline_params.Pipeline.rewrite_max_steps theory
     else
-      { Rewriting.Rewrite.kappa = 0; all_complete = false; per_rule = [] }
+      {
+        Rewriting.Rewrite.kappa = 0;
+        all_complete = false;
+        per_rule = [];
+        tripped = None;
+      }
   in
   let conjecture_applies =
     classes.Classes.Recognize.binary && kappa.Rewriting.Rewrite.all_complete
@@ -71,14 +77,17 @@ let judge ?(budget = default_budget) theory db query =
   | Pipeline.Unknown (why, _) -> (
       (* the pipeline gave up: let the search try, then exhaustively rule
          out small models *)
-      match Naive.search ~params:budget.search_params theory db query with
+      match
+        Naive.search ?budget:governor ~params:budget.search_params theory db
+          query
+      with
       | Naive.Found m ->
           let cert = { Certificate.theory; database = db; query; model = m } in
           if Certificate.is_valid cert then finish (Witness (cert, None))
           else finish (Open "search produced an invalid model (bug)")
-      | Naive.Exhausted | Naive.Budget_out -> (
+      | Naive.Exhausted | Naive.Budget_out _ -> (
           match
-            Naive.exhaustive_absence
+            Naive.exhaustive_absence ?budget:governor
               ~max_candidates:budget.exhaustive_candidates
               ~max_extra:budget.exhaustive_extra theory db query
           with
@@ -95,7 +104,13 @@ let judge ?(budget = default_budget) theory db query =
               in
               if Certificate.is_valid cert then finish (Witness (cert, None))
               else finish (Open "exhaustive produced an invalid model (bug)")
-          | Naive.Too_large _ -> finish (Open why)))
+          | Naive.Too_large _ -> finish (Open why)
+          | Naive.Absence_exhausted r ->
+              finish
+                (Open
+                   (Fmt.str "%s (%s budget exhausted during exhaustive \
+                             enumeration)"
+                      why (Bddfc_budget.Budget.resource_name r)))))
 
 let pp_evidence ppf = function
   | Certain d -> Fmt.pf ppf "the query is certain (chase depth %d)" d

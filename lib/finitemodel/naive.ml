@@ -11,8 +11,14 @@
    structures with at most [max_extra] fresh elements: it *proves* that no
    countermodel of that size exists (the executable content of the
    Section 5.5 non-FC argument).  It is exponential in the number of
-   candidate facts and guards itself accordingly. *)
+   candidate facts and guards itself accordingly.
 
+   Both are governed by a Budget.t: DFS nodes (and enumeration masks) are
+   charged as node fuel, the deadline is checked cooperatively, and
+   exhaustion surfaces as a structured outcome naming the tripped
+   resource — never as an exception. *)
+
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -21,7 +27,7 @@ open Bddfc_chase
 type search_result =
   | Found of Instance.t
   | Exhausted (* full search space explored: no model within bounds *)
-  | Budget_out
+  | Budget_out of { tripped : Budget.resource; nodes : int }
 
 type search_params = {
   max_size : int; (* total element budget *)
@@ -32,7 +38,6 @@ type search_params = {
 let default_search_params = { max_size = 12; max_nodes = 20_000; max_facts = 400 }
 
 exception Got_model of Instance.t
-exception Nodes_out
 
 (* First unsatisfied existential trigger, if any. *)
 let find_trigger theory inst =
@@ -60,16 +65,37 @@ let rec all_assignments elements = function
       let rest = all_assignments elements zs in
       List.concat_map (fun e -> List.map (fun a -> (z, e) :: a) rest) elements
 
-let search ?(params = default_search_params) theory db (query : Cq.t) =
+let search ?budget ?(params = default_search_params) theory db (query : Cq.t) =
+  let budget =
+    match budget with
+    | Some b -> Budget.cap ~nodes:params.max_nodes b
+    | None -> Budget.v ~nodes:params.max_nodes ()
+  in
   let nodes = ref 0 in
   let complete = ref true in
+  (* structural caps hit along the way, reported as the tripped resource
+     when no fuel pool ran dry *)
+  let limited : Budget.resource option ref = ref None in
+  let note r = if !limited = None then limited := Some r in
   let rec explore inst =
     incr nodes;
-    if !nodes > params.max_nodes then raise Nodes_out;
-    let sat = Chase.saturate_datalog theory inst in
+    Budget.check_deadline budget;
+    Budget.charge budget Budget.Nodes 1;
+    let sat = Chase.saturate_datalog ~budget theory inst in
     let inst = sat.Chase.instance in
-    if Eval.holds inst query then () (* dead branch *)
-    else if Instance.num_facts inst > params.max_facts then complete := false
+    if not (Chase.is_model sat) then begin
+      (* incomplete saturation cannot support a trigger search on this
+         branch: mark and prune rather than risk a bogus model *)
+      (match sat.Chase.outcome with
+      | Chase.Exhausted r -> note r
+      | _ -> note Budget.Rounds);
+      complete := false
+    end
+    else if Eval.holds inst query then () (* dead branch *)
+    else if Instance.num_facts inst > params.max_facts then begin
+      note Budget.Facts;
+      complete := false
+    end
     else
       match find_trigger theory inst with
       | None -> raise (Got_model inst)
@@ -117,12 +143,22 @@ let search ?(params = default_search_params) theory db (query : Cq.t) =
               (head_facts child assignment);
             explore child
           end
-          else complete := false
+          else begin
+            note Budget.Elements;
+            complete := false
+          end
   in
   match explore (Instance.copy db) with
-  | () -> if !complete then Exhausted else Budget_out
+  | () ->
+      if !complete then Exhausted
+      else
+        Budget_out
+          {
+            tripped = Option.value !limited ~default:Budget.Nodes;
+            nodes = !nodes;
+          }
   | exception Got_model m -> Found m
-  | exception Nodes_out -> Budget_out
+  | exception Budget.Exhausted r -> Budget_out { tripped = r; nodes = !nodes }
 
 (* ----------------------------------------------------------------- *)
 (* Exhaustive enumeration                                             *)
@@ -132,6 +168,8 @@ type absence_result =
   | No_model (* proved: no countermodel with this many extra elements *)
   | Counter_model of Instance.t
   | Too_large of int (* candidate fact count exceeded the guard *)
+  | Absence_exhausted of Budget.resource
+      (* a budget tripped mid-enumeration: nothing proved *)
 
 let rec tuples elements k =
   if k = 0 then [ [] ]
@@ -142,7 +180,9 @@ let rec tuples elements k =
 
 (* Enumerate every superset of D over D's elements plus [max_extra] fresh
    ones, and test each against the theory and the query. *)
-let exhaustive_absence ?(max_candidates = 24) ~max_extra theory db query =
+let exhaustive_absence ?budget ?(max_candidates = 24) ~max_extra theory db
+    query =
+  let budget = Option.value budget ~default:Budget.unlimited in
   let base = Instance.copy db in
   for i = 1 to max_extra do
     ignore (Instance.fresh_null base ~birth:0 ~rule:"extra" ~parent:None);
@@ -170,6 +210,8 @@ let exhaustive_absence ?(max_candidates = 24) ~max_extra theory db query =
     let result = ref No_model in
     (try
        for mask = 0 to total - 1 do
+         Budget.check_deadline budget;
+         Budget.charge budget Budget.Nodes 1;
          let inst = Instance.copy base in
          for i = 0 to k - 1 do
            if mask land (1 lsl i) <> 0 then ignore (Instance.add_fact inst arr.(i))
@@ -182,6 +224,8 @@ let exhaustive_absence ?(max_candidates = 24) ~max_extra theory db query =
            raise Exit
          end
        done
-     with Exit -> ());
+     with
+    | Exit -> ()
+    | Budget.Exhausted r -> result := Absence_exhausted r);
     !result
   end

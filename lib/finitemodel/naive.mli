@@ -7,15 +7,23 @@
 
     [exhaustive_absence]: genuinely exhaustive enumeration, proving that
     no countermodel with the given number of extra elements exists — the
-    executable content of the Section 5.5 non-FC argument. *)
+    executable content of the Section 5.5 non-FC argument.
 
+    Both accept a {!Bddfc_budget.Budget.t}: DFS nodes and enumeration
+    masks are charged as node fuel, the deadline is checked cooperatively,
+    and exhaustion is reported as a structured outcome naming the tripped
+    resource — never as an exception. *)
+
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 
 type search_result =
   | Found of Instance.t
   | Exhausted (** the full bounded space was explored *)
-  | Budget_out
+  | Budget_out of { tripped : Budget.resource; nodes : int }
+      (** a budget or structural cap stopped the search after visiting
+          that many nodes: no conclusion *)
 
 type search_params = {
   max_size : int;
@@ -26,13 +34,16 @@ type search_params = {
 val default_search_params : search_params
 
 val search :
-  ?params:search_params -> Theory.t -> Instance.t -> Cq.t -> search_result
+  ?budget:Budget.t -> ?params:search_params ->
+  Theory.t -> Instance.t -> Cq.t -> search_result
 
 type absence_result =
   | No_model
   | Counter_model of Instance.t
   | Too_large of int (** candidate fact count exceeded the guard *)
+  | Absence_exhausted of Budget.resource
+      (** a budget tripped mid-enumeration: nothing proved *)
 
 val exhaustive_absence :
-  ?max_candidates:int -> max_extra:int -> Theory.t -> Instance.t -> Cq.t ->
-  absence_result
+  ?budget:Budget.t -> ?max_candidates:int -> max_extra:int ->
+  Theory.t -> Instance.t -> Cq.t -> absence_result

@@ -13,8 +13,15 @@
      7. return a *verified* certificate, or Unknown when budgets run out.
 
    Soundness never depends on the heuristics: every produced model is
-   re-checked against T, D and Q by Certificate.verify. *)
+   re-checked against T, D and Q by Certificate.verify.
 
+   The whole pipeline is governed by an optional Budget.t in [params]:
+   every stage threads it into the engines, the retry schedule over
+   deeper chase prefixes splits the remaining deadline across the
+   attempts still to come, and exhaustion surfaces as [Unknown] with
+   [stats.tripped] naming the resource — never as an exception. *)
+
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -33,6 +40,7 @@ type params = {
   rewrite_max_disjuncts : int;
   rewrite_max_steps : int;
   saturation_rounds : int;
+  budget : Budget.t option; (* governor shared by every stage *)
 }
 
 let default_params =
@@ -46,6 +54,7 @@ let default_params =
     rewrite_max_disjuncts = 100;
     rewrite_max_steps = 2_000;
     saturation_rounds = 10_000;
+    budget = None;
   }
 
 type stats = {
@@ -59,7 +68,23 @@ type stats = {
   n_used : int option;
   model_size : int option;
   attempts : (int * string) list; (* failed n with reason, newest first *)
+  tripped : Budget.resource option; (* budget behind an Unknown, if any *)
 }
+
+let empty_stats =
+  {
+    chase_rounds = 0;
+    chase_elements = 0;
+    chase_fixpoint = false;
+    skeleton_facts = 0;
+    kappa = 0;
+    kappa_complete = false;
+    m_used = 0;
+    n_used = None;
+    model_size = None;
+    attempts = [];
+    tripped = None;
+  }
 
 type outcome =
   | Model of Certificate.t * stats
@@ -85,86 +110,99 @@ let rec construct ?(params = default_params) theory db (query : Cq.t) =
   let hidden = Normalize.hide_query theory query in
   match Normalize.spade5 hidden.Normalize.theory with
   | exception Normalize.Unsupported reason ->
-      Unknown
-        ( "normalization: " ^ reason,
-          {
-            chase_rounds = 0;
-            chase_elements = 0;
-            chase_fixpoint = false;
-            skeleton_facts = 0;
-            kappa = 0;
-            kappa_complete = false;
-            m_used = 0;
-            n_used = None;
-            model_size = None;
-            attempts = [];
-          } )
+      Unknown ("normalization: " ^ reason, empty_stats)
   | split ->
       let t2 = split.Normalize.theory in
       (* Some theories advance one chase "level" only every few rounds
          (witness creation, then joining, then datalog); a prefix too
          shallow for the quotient's periodic tail shows up as unsatisfied
-         existential rules, so retry at the depths of the schedule. *)
-      let rec over_depths last = function
+         existential rules, so retry at the depths of the schedule.  Each
+         retry gets an equal split of whatever deadline remains, so a
+         diverging early attempt cannot starve the deeper ones. *)
+      let rec over_depths last prev_attempts = function
         | [] -> last
         | mult :: rest -> (
             match
-              construct_at ~params ~hidden ~t2 theory db query
-                ~depth:(params.chase_depth * mult)
+              Option.bind params.budget Budget.exhausted_now
             with
-            | Unknown _ as u when rest <> [] ->
-                over_depths u rest
-            | outcome -> outcome)
+            | Some r ->
+                (* the governor is dry: best-effort answer is whatever the
+                   previous attempts produced *)
+                let reason, st =
+                  match last with
+                  | Unknown (reason, st) -> (reason, st)
+                  | _ -> ("budget exhausted", empty_stats)
+                in
+                Unknown
+                  ( Fmt.str "%s (%s budget exhausted)" reason
+                      (Budget.resource_name r),
+                    { st with tripped = Some r } )
+            | None -> (
+                let budget =
+                  match params.budget with
+                  | None -> None
+                  | Some b -> (
+                      match Budget.remaining_s b with
+                      | Some rem when rem > 0. ->
+                          (* split the remaining wall clock over this and
+                             the remaining attempts *)
+                          Some
+                            (Budget.with_deadline_s
+                               (rem /. float_of_int (1 + List.length rest))
+                               b)
+                      | _ -> Some b)
+                in
+                match
+                  construct_at ~params ~budget ~hidden ~t2 theory db query
+                    ~depth:(params.chase_depth * mult)
+                with
+                | Unknown (reason, st) when rest <> [] ->
+                    over_depths
+                      (Unknown
+                         (reason, { st with attempts = st.attempts @ prev_attempts }))
+                      (st.attempts @ prev_attempts)
+                      rest
+                | Unknown (reason, st) ->
+                    Unknown
+                      (reason, { st with attempts = st.attempts @ prev_attempts })
+                | outcome -> outcome))
       in
       over_depths
-        (Unknown
-           ( "empty depth schedule",
-             {
-               chase_rounds = 0;
-               chase_elements = 0;
-               chase_fixpoint = false;
-               skeleton_facts = 0;
-               kappa = 0;
-               kappa_complete = false;
-               m_used = 0;
-               n_used = None;
-               model_size = None;
-               attempts = [];
-             } ))
+        (Unknown ("empty depth schedule", empty_stats))
+        []
         (match params.depth_growth with [] -> [ 1 ] | l -> l)
 
-and construct_at ~params ~hidden ~t2 theory db query ~depth =
+and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
       (* -------- step 3: chase prefix -------- *)
+      (* Watching the hidden query predicate stops the chase the moment
+         entailment is decided — no deeper prefix, and no second chase to
+         recover the entailment depth. *)
       let chase =
-        Chase.run ~max_rounds:depth
+        Chase.run ?budget ~watch:hidden.Normalize.query_pred ~max_rounds:depth
           ~max_elements:params.max_chase_elements t2 db
       in
-      let f_atoms =
-        Instance.facts_with_pred chase.Chase.instance hidden.Normalize.query_pred
+      let entailed =
+        chase.Chase.outcome = Chase.Watched
+        || Instance.facts_with_pred chase.Chase.instance
+             hidden.Normalize.query_pred
+           <> []
       in
       let stats0 =
-        {
+        { empty_stats with
           chase_rounds = chase.Chase.rounds;
           chase_elements = Instance.num_elements chase.Chase.instance;
           chase_fixpoint = chase.Chase.outcome = Chase.Fixpoint;
-          skeleton_facts = 0;
-          kappa = 0;
-          kappa_complete = false;
-          m_used = 0;
-          n_used = None;
-          model_size = None;
-          attempts = [];
         }
       in
-      if f_atoms <> [] then begin
-        (* recover the exact derivation depth of the query itself *)
+      if entailed then begin
+        (* the hide rule is an existential rule, so spade5 splits it into
+           a TGP step plus a back rule: the hidden predicate appears
+           exactly two rounds after the query body first holds, and the
+           watched round recovers the entailment depth directly *)
         let depth =
-          match
-            Chase.certain ~max_rounds:depth
-              ~max_elements:params.max_chase_elements theory db query
-          with
-          | Chase.Entailed k -> k
-          | Chase.Not_entailed | Chase.Unknown _ -> chase.Chase.rounds
+          match chase.Chase.watch_round with
+          | Some r -> max 0 (r - 2)
+          | None -> chase.Chase.rounds
         in
         Query_entailed depth
       end
@@ -186,6 +224,19 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
         else Unknown ("finite chase failed verification (bug?)", stats0)
       end
       else begin
+        (* a deadline (or injected trap) mid-chase leaves no time for the
+           expensive stages; bail with the prefix statistics *)
+        match
+          match chase.Chase.outcome with
+          | Chase.Exhausted (Budget.Deadline as r) -> Some r
+          | _ -> Option.bind budget Budget.exhausted_now
+        with
+        | Some r ->
+            Unknown
+              ( Fmt.str "%s budget exhausted during the chase prefix"
+                  (Budget.resource_name r),
+                { stats0 with tripped = Some r } )
+        | None ->
         (* -------- step 4: skeleton -------- *)
         let sk = Skeleton.extract t2 chase in
         let stats0 =
@@ -195,7 +246,7 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
         in
         (* -------- step 5: kappa and coloring -------- *)
         let kap =
-          Rewrite.kappa ~max_disjuncts:params.rewrite_max_disjuncts
+          Rewrite.kappa ?budget ~max_disjuncts:params.rewrite_max_disjuncts
             ~max_steps:params.rewrite_max_steps t2
         in
         let m =
@@ -214,6 +265,7 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
             kappa = kap.Rewrite.kappa;
             kappa_complete = kap.Rewrite.all_complete;
             m_used = m;
+            tripped = kap.Rewrite.tripped;
           }
         in
         let coloring = Coloring.natural ~m sk.Skeleton.skeleton in
@@ -221,13 +273,16 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
         let attempts = ref [] in
         let try_n n =
           let g = Bgraph.make coloring.Coloring.colored in
-          let refinement = Refine.compute ~mode:params.refine_mode ~depth:n g in
+          let refinement =
+            Refine.compute ~mode:params.refine_mode ?budget ~depth:n g
+          in
           let quotient =
             Quotient.of_refinement coloring.Coloring.colored refinement
           in
           let m0 = Instance.copy quotient.Quotient.quotient in
           let sat =
-            Chase.saturate_datalog ~max_rounds:params.saturation_rounds t2 m0
+            Chase.saturate_datalog ?budget
+              ~max_rounds:params.saturation_rounds t2 m0
           in
           let m1 = sat.Chase.instance in
           let fail reason =
@@ -235,7 +290,11 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
             Log.debug (fun f -> f "n=%d failed: %s" n reason);
             None
           in
-          if
+          if not (Chase.is_model sat) then
+            fail
+              (Fmt.str "saturation incomplete (%a)" Chase.pp_outcome
+                 sat.Chase.outcome)
+          else if
             Instance.facts_with_pred m1 hidden.Normalize.query_pred <> []
           then fail "hidden predicate derived after saturation"
           else if Eval.holds m1 query then fail "query satisfied in quotient"
@@ -257,17 +316,28 @@ and construct_at ~params ~hidden ~t2 theory db query ~depth =
                 ( "no refinement depth in the schedule produced a model",
                   { stats0 with attempts = !attempts } )
           | n :: rest -> (
-              match try_n n with
-              | Some (cert, n_used) ->
-                  Model
-                    ( cert,
-                      { stats0 with
-                        n_used = Some n_used;
-                        model_size =
-                          Some (Instance.num_elements cert.Certificate.model);
-                        attempts = !attempts;
-                      } )
-              | None -> search rest)
+              (* every quotient attempt starts by probing the governor so
+                 a dry budget short-circuits instead of grinding *)
+              match Option.bind budget Budget.exhausted_now with
+              | Some r ->
+                  Unknown
+                    ( Fmt.str "%s budget exhausted before refinement n=%d"
+                        (Budget.resource_name r) n,
+                      { stats0 with attempts = !attempts; tripped = Some r }
+                    )
+              | None -> (
+                  match try_n n with
+                  | Some (cert, n_used) ->
+                      Model
+                        ( cert,
+                          { stats0 with
+                            n_used = Some n_used;
+                            model_size =
+                              Some
+                                (Instance.num_elements cert.Certificate.model);
+                            attempts = !attempts;
+                          } )
+                  | None -> search rest))
         in
         search params.n_schedule
       end

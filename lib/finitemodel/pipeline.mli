@@ -6,8 +6,12 @@
 
     Soundness never depends on the heuristics: every produced model is
     re-checked by {!Certificate.verify}; budget exhaustion yields
-    [Unknown]. *)
+    [Unknown] with [stats.tripped] naming the resource — never an
+    exception.  When [params.budget] carries a deadline, the retry
+    schedule over deeper chase prefixes splits the remaining wall clock
+    evenly across the attempts still to come. *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 
@@ -23,6 +27,7 @@ type params = {
   rewrite_max_disjuncts : int;
   rewrite_max_steps : int;
   saturation_rounds : int;
+  budget : Budget.t option; (** governor threaded through every stage *)
 }
 
 val default_params : params
@@ -38,7 +43,11 @@ type stats = {
   n_used : int option; (** [Some 0] when the finite chase itself was the model *)
   model_size : int option;
   attempts : (int * string) list; (** failed depths with reasons *)
+  tripped : Budget.resource option;
+      (** the budget behind an [Unknown], when one tripped *)
 }
+
+val empty_stats : stats
 
 type outcome =
   | Model of Certificate.t * stats

@@ -15,6 +15,7 @@
    soundness of everything built on top is re-established by model
    checking (see DESIGN.md). *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 
@@ -29,6 +30,7 @@ type t = {
   depth : int;
   cls : int array; (* element -> class id *)
   num_classes : int;
+  tripped : Budget.resource option; (* budget stopped the refinement early *)
 }
 
 let intern tbl next key =
@@ -87,19 +89,32 @@ let step g mode cls =
   done;
   (cls', !next)
 
-let compute ?(mode = Bidirectional) ~depth g =
+let compute ?(mode = Bidirectional) ?budget ~depth g =
+  let budget =
+    match budget with
+    | Some b -> Budget.cap ~refine_steps:depth b
+    | None -> Budget.v ~refine_steps:depth ()
+  in
   let cls0, n0 = initial_classes g in
   let rec go i cls num =
-    if i >= depth then (cls, num)
-    else begin
-      let cls', num' = step g mode cls in
-      (* early fixpoint: the partition can only refine; equal counts with
-         consistent classes mean stability *)
-      if num' = num then (cls', num') else go (i + 1) cls' num'
-    end
+    if i >= depth then (cls, num, None)
+    else
+      match
+        Budget.check_deadline budget;
+        Budget.charge budget Budget.Refine_steps 1;
+        step g mode cls
+      with
+      | cls', num' ->
+          (* early fixpoint: the partition can only refine; equal counts
+             with consistent classes mean stability *)
+          if num' = num then (cls', num', None) else go (i + 1) cls' num'
+      | exception Budget.Exhausted r ->
+          (* anytime: the partition of the last completed step is a sound
+             (coarser) approximation *)
+          (cls, num, Some r)
   in
-  let cls, num_classes = go 0 cls0 n0 in
-  { graph = g; mode; depth; cls; num_classes }
+  let cls, num_classes, tripped = go 0 cls0 n0 in
+  { graph = g; mode; depth; cls; num_classes; tripped }
 
 let class_of t e = t.cls.(e)
 let num_classes t = t.num_classes

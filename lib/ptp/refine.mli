@@ -7,6 +7,7 @@
     {!Bddfc_hom.Ptypes} in the test suite; everything built on top is
     re-verified by model checking. *)
 
+open Bddfc_budget
 open Bddfc_structure
 
 type mode =
@@ -21,9 +22,12 @@ type t = {
   depth : int;
   cls : int array;
   num_classes : int;
+  tripped : Budget.resource option;
+      (** a budget stopped the refinement early; [cls] is the partition of
+          the last completed step (coarser, hence still sound) *)
 }
 
-val compute : ?mode:mode -> depth:int -> Bgraph.t -> t
+val compute : ?mode:mode -> ?budget:Budget.t -> depth:int -> Bgraph.t -> t
 val class_of : t -> Element.id -> int
 val num_classes : t -> int
 val equivalent : t -> Element.id -> Element.id -> bool

@@ -5,8 +5,11 @@
 
    BDD is undecidable in general, so the saturation is budgeted; running
    out of budget yields [complete = false] and a sound under-approximation
-   (every disjunct is a correct sufficient condition). *)
+   (every disjunct is a correct sufficient condition).  Step counting and
+   deadline checks go through the shared Budget governor; [tripped]
+   records which resource stopped an incomplete saturation. *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_hom
 
@@ -15,6 +18,7 @@ type result = {
   complete : bool;
   generated : int; (* rewriting steps attempted *)
   kept : int; (* disjuncts surviving subsumption *)
+  tripped : Budget.resource option; (* what stopped an incomplete run *)
 }
 
 let src = Logs.Src.create "bddfc.rewrite" ~doc:"UCQ rewriting"
@@ -56,8 +60,13 @@ let _var_count (q : Cq.t) =
   in
   Cq.num_vars q + Cq.SS.cardinal frozen
 
-let rewrite ?(max_disjuncts = 400) ?(max_steps = 20_000) ?(max_piece = 5)
-    ?(max_disjunct_vars = 16) theory (q : Cq.t) =
+let rewrite ?budget ?(max_disjuncts = 400) ?(max_steps = 20_000)
+    ?(max_piece = 5) ?(max_disjunct_vars = 16) theory (q : Cq.t) =
+  let budget =
+    match budget with
+    | Some b -> Budget.cap ~rewrite_steps:max_steps b
+    | None -> Budget.v ~rewrite_steps:max_steps ()
+  in
   let single_head =
     List.for_all Rule.is_single_head (Theory.rules theory)
   in
@@ -72,8 +81,10 @@ let rewrite ?(max_disjuncts = 400) ?(max_steps = 20_000) ?(max_piece = 5)
   Queue.add q0 queue;
   let generated = ref 0 in
   let complete = ref true in
+  let tripped = ref None in
   (try
      while not (Queue.is_empty queue) do
+       Budget.check_deadline budget;
        let cur = Queue.pop queue in
        (* [cur] may have been superseded by a more general disjunct *)
        if List.exists (fun k -> Cq.equal k cur) !kept then
@@ -82,10 +93,7 @@ let rewrite ?(max_disjuncts = 400) ?(max_steps = 20_000) ?(max_piece = 5)
              List.iter
                (fun q' ->
                  incr generated;
-                 if !generated > max_steps then begin
-                   complete := false;
-                   raise Exit
-                 end;
+                 Budget.charge budget Budget.Rewrite_steps 1;
                  let q' = Containment.minimize q' in
                  if _var_count q' > max_disjunct_vars then
                    (* a disjunct this wide signals divergence; dropping it
@@ -115,18 +123,29 @@ let rewrite ?(max_disjuncts = 400) ?(max_steps = 20_000) ?(max_piece = 5)
                (Piece.one_steps ~max_piece rule cur))
            (Theory.rules theory)
      done
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Budget.Exhausted r ->
+      complete := false;
+      tripped := Some r);
   let ucq = List.rev_map (unfreeze_answers answer) !kept in
   Log.debug (fun m ->
       m "rewrite: %d disjuncts, complete=%b, %d steps" (List.length ucq)
         !complete !generated);
-  { ucq; complete = !complete; generated = !generated; kept = List.length ucq }
+  {
+    ucq;
+    complete = !complete;
+    generated = !generated;
+    kept = List.length ucq;
+    tripped = !tripped;
+  }
 
 (* Is the theory BDD for this query (within the budget)?  [Some r] with
    [r.complete = true] certifies yes; [r.complete = false] means unknown. *)
-let bdd_for_query ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
-    theory q =
-  rewrite ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars theory q
+let bdd_for_query ?budget ?max_disjuncts ?max_steps ?max_piece
+    ?max_disjunct_vars theory q =
+  rewrite ?budget ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
+    theory q
 
 (* Evaluate a UCQ rewriting over an instance (Boolean). *)
 let ucq_holds inst ucq = List.exists (fun q -> Eval.holds inst q) ucq
@@ -140,17 +159,21 @@ type kappa_result = {
   kappa : int; (* max vars over all computed disjuncts *)
   all_complete : bool; (* every body rewriting reached a fixpoint *)
   per_rule : (string * int * bool) list; (* rule, max vars, complete *)
+  tripped : Budget.resource option; (* first resource that stopped a rule *)
 }
 
-let kappa ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars theory =
+let kappa ?budget ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
+    theory =
+  let tripped = ref None in
   let per_rule =
     List.map
       (fun rule ->
         let body_q = Rule.body_query rule in
         let r =
-          rewrite ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
-            theory body_q
+          rewrite ?budget ?max_disjuncts ?max_steps ?max_piece
+            ?max_disjunct_vars theory body_q
         in
+        if !tripped = None then tripped := r.tripped;
         let vmax =
           List.fold_left (fun m d -> max m (Cq.num_vars d)) 0 r.ucq
         in
@@ -161,4 +184,5 @@ let kappa ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars theory =
     kappa = List.fold_left (fun m (_, v, _) -> max m v) 0 per_rule;
     all_complete = List.for_all (fun (_, _, c) -> c) per_rule;
     per_rule;
+    tripped = !tripped;
   }

@@ -4,8 +4,12 @@
 
     BDD is undecidable, so the saturation is budgeted: running out yields
     [complete = false] and a sound under-approximation (each disjunct is a
-    correct sufficient condition for certainty). *)
+    correct sufficient condition for certainty).  Truncation goes through
+    a {!Bddfc_budget.Budget.t}: step fuel and the deadline are charged
+    cooperatively, exhaustion never escapes as an exception, and
+    [tripped] names the resource that stopped an incomplete run. *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 
@@ -14,17 +18,19 @@ type result = {
   complete : bool; (** fixpoint reached: [ucq] is the full rewriting *)
   generated : int; (** rewriting steps attempted *)
   kept : int; (** disjuncts surviving subsumption *)
+  tripped : Budget.resource option;
+      (** the budget that stopped an incomplete saturation *)
 }
 
 val rewrite :
-  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
-  ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
+  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
 (** @raise Invalid_argument on multi-head rules (apply
     [Bddfc_classes.Multihead.to_single_head] first). *)
 
 val bdd_for_query :
-  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
-  ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
+  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
 (** Alias of {!rewrite}; [complete = true] certifies BDD for this query. *)
 
 val ucq_holds : Instance.t -> Cq.t list -> bool
@@ -33,10 +39,12 @@ type kappa_result = {
   kappa : int; (** max variables over all computed body rewritings *)
   all_complete : bool;
   per_rule : (string * int * bool) list; (** rule name, max vars, complete *)
+  tripped : Budget.resource option;
+      (** first resource that stopped a per-rule rewriting *)
 }
 
 val kappa :
-  ?max_disjuncts:int -> ?max_steps:int -> ?max_piece:int ->
-  ?max_disjunct_vars:int -> Theory.t -> kappa_result
+  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
+  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> kappa_result
 (** The kappa of Section 3.3: the maximal number of variables in a
     positive rewriting of the body of some rule of the theory. *)

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build, full test suite, then the fault-injection
+# suite on its own so a budget regression is visible in the CI log even
+# when some other suite breaks first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+# the budget / fault-injection suite, explicitly
+dune exec test/main.exe -- test budget
+
+# smoke-test the CLI exit-code contract
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# the Section 5.5 non-FC theory: the chase never settles the query and
+# no finite countermodel exists, so only a budget can end the run
+cat > "$tmp/diverge.dlg" <<'EOF'
+e(X,Y) -> exists Z. e(Y,Z).
+r(X,Y), e(X,X2), e(Y,Z), e(Z,Y2) -> r(X2,Y2).
+e(a0,a1). r(a0,a0).
+? e(X,Y), r(Y,Y).
+EOF
+
+# a non-terminating instance under --timeout must come back Unknown (4)
+set +e
+dune exec bin/bddfc_cli.exe -- model --timeout 2 "$tmp/diverge.dlg" >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 4 ]; then
+  echo "ci: expected exit 4 (unknown) from budgeted model run, got $code" >&2
+  exit 1
+fi
+
+# a malformed program must be a one-line input error (2), not a backtrace
+echo 'e(X,Y -> broken' > "$tmp/bad.dlg"
+set +e
+dune exec bin/bddfc_cli.exe -- chase "$tmp/bad.dlg" >/dev/null 2>"$tmp/err"
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+  echo "ci: expected exit 2 (input error) on malformed input, got $code" >&2
+  exit 1
+fi
+if grep -q "Raised at" "$tmp/err"; then
+  echo "ci: backtrace leaked to the user on malformed input" >&2
+  exit 1
+fi
+
+echo "ci: all green"

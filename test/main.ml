@@ -12,4 +12,5 @@ let () =
       Test_integration.suite;
       Test_extensions.suite;
       Test_provenance.suite;
+      Test_budget.suite;
     ]

@@ -1,6 +1,7 @@
 (* Unit tests for Bddfc_chase: the chase engine, skeletons, termination
    criteria. *)
 
+open Bddfc_budget
 open Bddfc_logic
 open Bddfc_structure
 open Bddfc_hom
@@ -38,7 +39,8 @@ let test_chase_oblivious_creates () =
 let test_chase_round_budget () =
   let t = th "e(X,Y) -> exists Z. e(Y,Z)." in
   let r = Chase.run ~max_rounds:7 t (db "e(a,b).") in
-  check Alcotest.bool "budget hit" true (r.Chase.outcome = Chase.Round_budget);
+  check Alcotest.bool "budget hit" true
+    (r.Chase.outcome = Chase.Exhausted Budget.Rounds);
   (* one new element per round *)
   check Alcotest.int "chain grew" 9 (Instance.num_elements r.Chase.instance)
 
@@ -83,7 +85,8 @@ let test_certain () =
         (match other with
         | Chase.Entailed k -> "Entailed " ^ string_of_int k
         | Chase.Not_entailed -> "Not_entailed"
-        | Chase.Unknown k -> "Unknown " ^ string_of_int k));
+        | Chase.Unknown (r, k) ->
+            Fmt.str "Unknown (%a, %d)" Budget.pp_resource r k));
   (match Chase.certain ~max_rounds:10 t d (q "? e(X,X).") with
   | Chase.Unknown _ -> () (* infinite chase: budget runs out *)
   | _ -> Alcotest.fail "expected Unknown");

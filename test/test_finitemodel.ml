@@ -158,7 +158,7 @@ let test_naive_search_nonfc () =
   | Naive.Found m ->
       Alcotest.failf "impossible: found a %d-element countermodel"
         (Instance.num_elements m)
-  | Naive.Exhausted | Naive.Budget_out -> ()
+  | Naive.Exhausted | Naive.Budget_out _ -> ()
 
 let test_exhaustive_absence_sec55 () =
   (* prove there is no countermodel with one extra element *)
@@ -170,6 +170,7 @@ let test_exhaustive_absence_sec55 () =
   | Naive.No_model -> ()
   | Naive.Counter_model _ -> Alcotest.fail "section 5.5 refuted?!"
   | Naive.Too_large k -> Alcotest.failf "guard hit at %d candidates" k
+  | Naive.Absence_exhausted _ -> Alcotest.fail "unexpected budget trip"
 
 let test_exhaustive_finds_when_exists () =
   let t = th "e(X,Y) -> exists Z. e(Y,Z)." in
@@ -181,6 +182,7 @@ let test_exhaustive_finds_when_exists () =
       check Alcotest.bool "model" true (Model_check.is_model t m)
   | Naive.No_model -> Alcotest.fail "a 3-element countermodel exists"
   | Naive.Too_large _ -> Alcotest.fail "guard hit"
+  | Naive.Absence_exhausted _ -> Alcotest.fail "unexpected budget trip"
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)
