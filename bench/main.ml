@@ -18,6 +18,12 @@ module I = Structure.Instance
    tables then show budget-exhausted outcomes instead of hanging. *)
 let governor : Budget.t option ref = ref None
 
+(* --strategy restricts EX-14's timing rows to one evaluation strategy
+   (for profiling); --strategy-smoke runs only the naive/semi-naive
+   agreement check and exits nonzero on divergence (wired into CI). *)
+let strategy_filter : Chase.Chase.strategy option ref = ref None
+let smoke_only = ref false
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -25,9 +31,21 @@ let parse_args () =
     [ ("--timeout", Arg.Set_float timeout,
        "SECONDS wall-clock deadline shared by every budgeted call");
       ("--fuel", Arg.Set_int fuel,
-       "N uniform fuel for every engine counter") ]
+       "N uniform fuel for every engine counter");
+      ("--strategy",
+       Arg.Symbol
+         ( [ "naive"; "seminaive" ],
+           fun s ->
+             strategy_filter :=
+               Some
+                 (if s = "naive" then Chase.Chase.Naive
+                  else Chase.Chase.Seminaive) ),
+       " restrict EX-14 timing to one chase evaluation strategy");
+      ("--strategy-smoke", Arg.Set smoke_only,
+       " run only the naive/semi-naive agreement smoke; exit 1 on \
+        divergence") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--timeout SECONDS] [--fuel N]";
+    "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -507,8 +525,112 @@ let micro () =
       | _ -> Fmt.pr "%-36s (no estimate)@." name)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* EX-14: naive vs semi-naive chase evaluation                         *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_name = function
+  | Chase.Chase.Naive -> "naive"
+  | Chase.Chase.Seminaive -> "seminaive"
+
+(* The scaling workloads: datalog saturation (transitive closure, where
+   delta-driven evaluation shines) and a restricted chase with
+   existentials (where witness checks dominate). *)
+let ex14_workloads () =
+  let tc = Logic.Parser.parse_theory "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let linear = Logic.Parser.parse_theory "e(X,Y) -> exists Z. e(Y,Z)." in
+  [ ("tc/chain30", tc, Gen.chain ~len:30 (), `Saturate);
+    ("tc/chain60", tc, Gen.chain ~len:60 (), `Saturate);
+    ("tc/digraph80", tc,
+     Gen.random_digraph ~nodes:80 ~edges:160 ~seed:7 (), `Saturate);
+    ("linear/seeds8", linear, Gen.seeds ~n:8 (), `Rounds 24);
+  ]
+
+let ex14_run strategy theory db = function
+  | `Saturate ->
+      Chase.Chase.saturate_datalog ~strategy ?budget:!governor theory db
+  | `Rounds k ->
+      Chase.Chase.run ~strategy ?budget:!governor ~max_rounds:k theory db
+
+let ex14_strategies () =
+  header "EX-14: naive vs semi-naive chase evaluation (join probes)";
+  Fmt.pr "%-16s %-10s %-8s %-8s %-12s %-8s %s@." "workload" "strategy"
+    "rounds" "facts" "probes" "time(s)" "probe ratio";
+  List.iter
+    (fun (name, theory, db, mode) ->
+      let strategies =
+        match !strategy_filter with
+        | Some s -> [ s ]
+        | None -> [ Chase.Chase.Naive; Chase.Chase.Seminaive ]
+      in
+      let probes_of = Hashtbl.create 2 in
+      List.iter
+        (fun strategy ->
+          Hom.Eval.reset_probes ();
+          let r, t = time_it (fun () -> ex14_run strategy theory db mode) in
+          let probes = Hom.Eval.probe_count () in
+          Hashtbl.replace probes_of strategy probes;
+          let ratio =
+            match Hashtbl.find_opt probes_of Chase.Chase.Naive with
+            | Some np when strategy = Chase.Chase.Seminaive && probes > 0 ->
+                Printf.sprintf "%.1fx fewer"
+                  (float_of_int np /. float_of_int probes)
+            | _ -> "-"
+          in
+          Fmt.pr "%-16s %-10s %-8d %-8d %-12d %-8.3f %s@." name
+            (strategy_name strategy) r.Chase.Chase.rounds
+            (I.num_facts r.Chase.Chase.instance)
+            probes t ratio)
+        strategies)
+    (ex14_workloads ())
+
+(* The CI smoke: both strategies must agree round by round on every
+   workload (fact counts per round, total facts, rounds, outcome).
+   Divergence is a bug in one of the evaluation paths. *)
+let strategy_smoke () =
+  header "strategy smoke: naive vs semi-naive agreement";
+  let failures = ref 0 in
+  let check name run =
+    let a = run Chase.Chase.Naive in
+    let b = run Chase.Chase.Seminaive in
+    let ok =
+      a.Chase.Chase.rounds = b.Chase.Chase.rounds
+      && I.num_facts a.Chase.Chase.instance
+         = I.num_facts b.Chase.Chase.instance
+      && a.Chase.Chase.new_facts_per_round = b.Chase.Chase.new_facts_per_round
+      && Chase.Chase.is_model a = Chase.Chase.is_model b
+    in
+    if not ok then incr failures;
+    Fmt.pr "%-20s %-6s (naive %d rounds/%d facts, seminaive %d/%d)@." name
+      (if ok then "agree" else "DIVERGE")
+      a.Chase.Chase.rounds
+      (I.num_facts a.Chase.Chase.instance)
+      b.Chase.Chase.rounds
+      (I.num_facts b.Chase.Chase.instance)
+  in
+  List.iter
+    (fun (name, theory, db, mode) ->
+      check name (fun strategy -> ex14_run strategy theory db mode))
+    (ex14_workloads ());
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let db = Zoo.database_instance e in
+      check e.Zoo.name (fun strategy ->
+          Chase.Chase.run ~strategy ~max_rounds:10 ~max_elements:4000
+            e.Zoo.theory db))
+    Zoo.all;
+  if !failures = 0 then begin
+    Fmt.pr "strategy smoke: all workloads agree@.";
+    0
+  end
+  else begin
+    Fmt.pr "strategy smoke: %d workload(s) DIVERGED@." !failures;
+    1
+  end
+
 let () =
   parse_args ();
+  if !smoke_only then exit (strategy_smoke ());
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();
@@ -522,5 +644,6 @@ let () =
   guarded_blowup ();
   encodings ();
   ablations ();
+  ex14_strategies ();
   micro ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

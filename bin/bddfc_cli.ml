@@ -130,6 +130,20 @@ let budget_term =
   in
   Term.(const make $ timeout $ fuel $ trap)
 
+(* Every subcommand accepts --strategy so scripts can A/B the two chase
+   evaluation paths uniformly; commands that never chase (rewrite,
+   classify) accept and ignore it. *)
+let strategy_term =
+  Arg.(
+    value
+    & opt (enum [ ("seminaive", Chase.Chase.Seminaive);
+                  ("naive", Chase.Chase.Naive) ])
+        Chase.Chase.Seminaive
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Chase evaluation strategy: $(b,seminaive) (delta-driven, \
+              the default) or $(b,naive) (per-round snapshot re-join; \
+              reference implementation).")
+
 (* ----------------------------- chase ----------------------------- *)
 
 let chase_cmd =
@@ -144,10 +158,12 @@ let chase_cmd =
           Chase.Chase.Restricted
       & info [ "variant" ] ~doc:"Chase variant: restricted or oblivious.")
   in
-  let run file rounds variant budget verbose =
+  let run file rounds variant strategy budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, db, queries) ->
-    let r = Chase.Chase.run ~variant ?budget ~max_rounds:rounds theory db in
+    let r =
+      Chase.Chase.run ~variant ~strategy ?budget ~max_rounds:rounds theory db
+    in
     Fmt.pr "%a@." Structure.Instance.pp r.Chase.Chase.instance;
     Fmt.pr "-- rounds: %d, elements: %d, facts: %d, %a@."
       r.Chase.Chase.rounds
@@ -164,7 +180,9 @@ let chase_cmd =
     | Chase.Chase.Fixpoint | Chase.Chase.Watched -> exit_ok
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file." ~exits)
-    Term.(const run $ file_arg $ rounds $ variant $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ rounds $ variant $ strategy_term $ budget_term
+      $ verbose_arg)
 
 (* ---------------------------- rewrite ---------------------------- *)
 
@@ -172,7 +190,7 @@ let rewrite_cmd =
   let max_disjuncts =
     Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
   in
-  let run file max_disjuncts budget verbose =
+  let run file max_disjuncts (_ : Chase.Chase.strategy) budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, _, queries) ->
     if queries = [] then Fmt.epr "no queries in %s@." file;
@@ -191,12 +209,14 @@ let rewrite_cmd =
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute positive first-order (UCQ) rewritings."
        ~exits)
-    Term.(const run $ file_arg $ max_disjuncts $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ max_disjuncts $ strategy_term $ budget_term
+      $ verbose_arg)
 
 (* ---------------------------- classify --------------------------- *)
 
 let classify_cmd =
-  let run file budget verbose =
+  let run file (_ : Chase.Chase.strategy) budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
@@ -208,7 +228,7 @@ let classify_cmd =
     exit_ok
   in
   Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
-    Term.(const run $ file_arg $ budget_term $ verbose_arg)
+    Term.(const run $ file_arg $ strategy_term $ budget_term $ verbose_arg)
 
 (* ----------------------------- model ----------------------------- *)
 
@@ -216,7 +236,7 @@ let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth budget verbose =
+  let run file depth strategy budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, db, queries) ->
     match queries with
@@ -228,6 +248,7 @@ let model_cmd =
           { Finitemodel.Pipeline.default_params with
             chase_depth = depth;
             budget;
+            strategy;
           }
         in
         match Finitemodel.Pipeline.construct ~params theory db q with
@@ -258,12 +279,13 @@ let model_cmd =
          "Run the Theorem 2 pipeline: find a finite model of the facts and \
           rules avoiding the query."
        ~exits)
-    Term.(const run $ file_arg $ depth $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ depth $ strategy_term $ budget_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file budget verbose =
+  let run file strategy budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, db, queries) ->
     match queries with
@@ -274,7 +296,7 @@ let judge_cmd =
         let jb =
           { Finitemodel.Judge.default_budget with
             pipeline_params =
-              { Finitemodel.Pipeline.default_params with budget };
+              { Finitemodel.Pipeline.default_params with budget; strategy };
           }
         in
         let v = Finitemodel.Judge.judge ~budget:jb theory db q in
@@ -294,7 +316,7 @@ let judge_cmd =
          "Everything the library can say about finite controllability of \
           the file's (rules, facts, query) triple."
        ~exits)
-    Term.(const run $ file_arg $ budget_term $ verbose_arg)
+    Term.(const run $ file_arg $ strategy_term $ budget_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -306,10 +328,10 @@ let dot_cmd =
   let rounds =
     Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Chase rounds before export.")
   in
-  let run file out rounds budget verbose =
+  let run file out rounds strategy budget verbose =
     setup_logs verbose;
     with_program file @@ fun (theory, db, _) ->
-    let r = Chase.Chase.run ?budget ~max_rounds:rounds theory db in
+    let r = Chase.Chase.run ~strategy ?budget ~max_rounds:rounds theory db in
     let dot = Structure.Dot.to_string r.Chase.Chase.instance in
     (match out with
     | None -> print_string dot
@@ -321,7 +343,9 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Chase the program and export the result as GraphViz."
        ~exits)
-    Term.(const run $ file_arg $ out $ rounds $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ out $ rounds $ strategy_term $ budget_term
+      $ verbose_arg)
 
 (* ------------------------------ zoo ------------------------------ *)
 
@@ -330,7 +354,7 @@ let zoo_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
            ~doc:"Zoo entry to run (omit to list).")
   in
-  let run name budget verbose =
+  let run name strategy budget verbose =
     setup_logs verbose;
     match name with
     | None ->
@@ -350,7 +374,9 @@ let zoo_cmd =
               e.Workload.Zoo.name e.Workload.Zoo.reference Logic.Theory.pp
               e.Workload.Zoo.theory Logic.Cq.pp e.Workload.Zoo.query;
             let db = Workload.Zoo.database_instance e in
-            let params = { Finitemodel.Pipeline.default_params with budget } in
+            let params =
+              { Finitemodel.Pipeline.default_params with budget; strategy }
+            in
             match
               Finitemodel.Pipeline.construct ~params e.Workload.Zoo.theory db
                 e.Workload.Zoo.query
@@ -369,7 +395,7 @@ let zoo_cmd =
                 exit_unknown))
   in
   Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
-    Term.(const run $ entry_name $ budget_term $ verbose_arg)
+    Term.(const run $ entry_name $ strategy_term $ budget_term $ verbose_arg)
 
 let main =
   let info =

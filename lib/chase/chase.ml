@@ -2,10 +2,10 @@
 
    We implement the *restricted* (non-oblivious) chase in rounds:
    Chase^{i+1}(D, T) = Chase1(Chase^i(D, T), T), where Chase1 evaluates
-   every rule body on a snapshot and
+   every rule body on the state at the start of the round and
 
      - for a datalog rule, adds the instantiated head atoms;
-     - for an existential rule, checks on the snapshot whether a witness
+     - for an existential rule, checks on that state whether a witness
        already exists and, if not, creates fresh labelled nulls for the
        existential variables — at most once per demanded head instance, so
        that Lemma 3 (at most one TGP successor per element and predicate)
@@ -13,6 +13,26 @@
 
    An oblivious variant (one witness per rule-and-body-homomorphism, no
    witness check) is provided for comparison benchmarks.
+
+   Two evaluation strategies produce that round semantics:
+
+     - Naive: copy the instance into a snapshot and re-join every rule
+       body against it — O(full join) per round, the reference
+       implementation.
+     - Seminaive (default): no copy.  Facts are stamped with their birth
+       round, round r only enumerates bindings with at least one body
+       atom in round r-1's delta (Eval.iter_solutions_delta), and body
+       evaluation plus witness checks read the committed prefix (births
+       < r) through birth-windowed indexes, so facts added during round r
+       are invisible to it — exactly the snapshot semantics, without the
+       snapshot.
+
+   The two agree round by round: a datalog fact is new in round r iff
+   some body binding first matched against round r-1's delta, and a
+   restricted trigger fires at most once ever — at the round its body
+   first matches — because witnesses only accumulate (once blocked,
+   always blocked).  test/test_differential.ml holds the strategies to
+   this equivalence across the zoo and fuzzed theories.
 
    All truncation is governed by a Budget.t: the engine charges the
    governor per round, per fresh element and per added fact, catches
@@ -29,6 +49,10 @@ open Bddfc_hom
 type variant =
   | Restricted
   | Oblivious
+
+type strategy =
+  | Naive
+  | Seminaive
 
 type outcome =
   | Fixpoint (* no trigger fired: the result is a model *)
@@ -67,14 +91,16 @@ let instantiate inst binding fresh atom =
   in
   Fact.make (Atom.pred atom) (Array.of_list (List.map id_of (Atom.args atom)))
 
-(* Witness check: does the snapshot satisfy [exists Z. head] under the
-   frontier part of [binding]? *)
-let witness_exists snapshot rule binding =
+(* Witness check: does the round's visible state satisfy
+   [exists Z. head] under the frontier part of [binding]?  Under the
+   semi-naive strategy [snapshot] is the live instance and [upto] trims
+   the join to the committed prefix (births < round). *)
+let witness_exists ?upto snapshot rule binding =
   let frontier = Rule.frontier rule in
   let init =
     Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
   in
-  Eval.satisfiable ~init snapshot (Rule.head rule)
+  Eval.satisfiable ~init ?upto snapshot (Rule.head rule)
 
 (* Key identifying the demanded head instance: predicate names and frontier
    arguments, with existential slots anonymized.  Two triggers demanding
@@ -97,21 +123,39 @@ let demand_key rule binding =
 type round_stats = { fired_datalog : int; fired_existential : int }
 
 (* One simultaneous chase round on [inst].  Returns the number of facts
-   added.  [snapshot] is a copy used for body evaluation and witness
-   checks.  Fresh elements and added facts are charged to [budget]; a
-   trip mid-round leaves a partial round behind (best effort). *)
-let round ?(variant = Restricted) ?(datalog_only = false) ?fired
-    ~(budget : Budget.t) ~round_no theory inst =
-  let snapshot = Instance.copy inst in
+   added.  Body evaluation and witness checks read the state at the start
+   of the round: a full copy under the Naive strategy, the committed
+   prefix of [inst] itself (births < round_no, in place) under Seminaive.
+   New facts are stamped with [round_no] as their birth.  Fresh elements
+   and added facts are charged to [budget]; a trip mid-round leaves a
+   partial round behind (best effort). *)
+let round ?(variant = Restricted) ?(strategy = Seminaive)
+    ?(datalog_only = false) ?fired ~(budget : Budget.t) ~round_no theory inst
+    =
+  let snapshot, upto =
+    match strategy with
+    | Naive -> (Instance.copy inst, None)
+    | Seminaive -> (inst, Some round_no)
+  in
   let added = ref 0 in
   let stats = ref { fired_datalog = 0; fired_existential = 0 } in
   let add f =
-    if Instance.add_fact inst f then begin
+    if Instance.add_fact ~birth:round_no inst f then begin
       incr added;
       Budget.charge budget Budget.Facts 1;
       true
     end
     else false
+  in
+  (* Under Seminaive only bindings with >= 1 body atom in the previous
+     round's delta are enumerated — every other binding already fired (or
+     was witness-blocked) in an earlier round. *)
+  let iter_bindings rule yield =
+    match strategy with
+    | Naive -> Eval.iter_solutions snapshot (Rule.body rule) yield
+    | Seminaive ->
+        Eval.iter_solutions_delta ~since:(round_no - 1) ~upto:round_no inst
+          (Rule.body rule) yield
   in
   (* [fired] persists across rounds (needed for the oblivious variant,
      where a trigger must fire exactly once ever); without it the table is
@@ -123,7 +167,7 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired
   List.iter
     (fun rule ->
       if (not datalog_only) || Rule.is_datalog rule then
-        Eval.iter_solutions snapshot (Rule.body rule) (fun binding ->
+        iter_bindings rule (fun binding ->
             if Rule.is_datalog rule then begin
               List.iter
                 (fun head_atom ->
@@ -142,7 +186,7 @@ let round ?(variant = Restricted) ?(datalog_only = false) ?fired
               let fire =
                 match variant with
                 | Oblivious -> true
-                | Restricted -> not (witness_exists snapshot rule binding)
+                | Restricted -> not (witness_exists ?upto snapshot rule binding)
               in
               let key =
                 match variant with
@@ -216,10 +260,15 @@ let effective_budget ?budget ?max_rounds ?max_elements () =
         ~elements:(Option.value max_elements ~default:default_elements)
         ()
 
-let run ?(variant = Restricted) ?(datalog_only = false) ?watch ?budget
-    ?max_rounds ?max_elements theory base =
+let run ?(variant = Restricted) ?(strategy = Seminaive)
+    ?(datalog_only = false) ?watch ?budget ?max_rounds ?max_elements theory
+    base =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   let inst = Instance.copy base in
+  (* the working copy starts a fresh round numbering: stale birth stamps
+     (e.g. when re-chasing a previously chased instance) would corrupt
+     the delta windows *)
+  Instance.reset_fact_births inst;
   let base_facts = Instance.facts base in
   let per_round = ref [] in
   let fired = Hashtbl.create 64 in
@@ -240,7 +289,7 @@ let run ?(variant = Restricted) ?(datalog_only = false) ?watch ?budget
     Budget.check_deadline budget;
     Budget.charge budget Budget.Rounds 1;
     let added, _ =
-      round ~variant ~datalog_only
+      round ~variant ~strategy ~datalog_only
         ?fired:(if variant = Oblivious then Some fired else None)
         ~budget ~round_no:(i + 1) theory inst
     in
@@ -270,17 +319,22 @@ let run ?(variant = Restricted) ?(datalog_only = false) ?watch ?budget
   }
 
 (* Chase^k(D, T): exactly [k] rounds (or fewer if a fixpoint hits).
-   Routed through the governor like everything else: element fuel always
-   applies (historically this passed [max_int], silently defeating any
-   element budget). *)
-let run_depth ?(variant = Restricted) ?budget ~depth theory base =
-  run ~variant ?budget ~max_rounds:depth ~max_elements:1_000_000 theory base
+   With a governor, its element pool governs (historically this forced a
+   hardcoded 1M-element local ceiling on top of the caller's budget; now
+   the ceiling exists only as the no-governor default, like the other
+   entry points).  Element fuel always applies — never unbounded. *)
+let run_depth ?(variant = Restricted) ?strategy ?budget ~depth theory base =
+  match budget with
+  | Some _ -> run ~variant ?strategy ?budget ~max_rounds:depth theory base
+  | None ->
+      run ~variant ?strategy ~max_rounds:depth ~max_elements:1_000_000 theory
+        base
 
 (* Datalog saturation: chase with the datalog rules only.  On a finite
    instance this always terminates (no new elements are created) unless
    the governor's deadline trips first. *)
-let saturate_datalog ?budget ?(max_rounds = 10_000) theory base =
-  run ~datalog_only:true ?budget ~max_rounds theory base
+let saturate_datalog ?strategy ?budget ?(max_rounds = 10_000) theory base =
+  run ~datalog_only:true ?strategy ?budget ~max_rounds theory base
 
 (* Certain answering by chase: does Chase(D, T) |= q, and at which depth?
    Checks the query after every round. *)
@@ -290,9 +344,10 @@ type certainty =
   | Unknown of Budget.resource * int
       (* this budget exhausted after that many rounds *)
 
-let certain ?budget ?max_rounds ?max_elements theory base q =
+let certain ?strategy ?budget ?max_rounds ?max_elements theory base q =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   let inst = Instance.copy base in
+  Instance.reset_fact_births inst;
   let rounds = ref 0 in
   try
     if Eval.holds inst q then Entailed 0
@@ -300,7 +355,7 @@ let certain ?budget ?max_rounds ?max_elements theory base q =
       let rec go i =
         Budget.check_deadline budget;
         Budget.charge budget Budget.Rounds 1;
-        let added, _ = round ~budget ~round_no:(i + 1) theory inst in
+        let added, _ = round ?strategy ~budget ~round_no:(i + 1) theory inst in
         rounds := i + 1;
         if Eval.holds inst q then Entailed (i + 1)
         else if added = 0 then Not_entailed

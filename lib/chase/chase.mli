@@ -2,11 +2,19 @@
     [Chase^{i+1}(D,T) = Chase1(Chase^i(D,T), T)].
 
     The default variant is the *restricted* (non-oblivious) chase: an
-    existential trigger fires only when no witness exists in the snapshot,
-    and within a round at most one witness is created per demanded head
-    instance — this is what makes Lemma 3 (skeleton forests of bounded
-    degree) true.  The oblivious variant creates one witness per body
-    homomorphism, exactly once ever.
+    existential trigger fires only when no witness exists in the state at
+    the start of the round, and within a round at most one witness is
+    created per demanded head instance — this is what makes Lemma 3
+    (skeleton forests of bounded degree) true.  The oblivious variant
+    creates one witness per body homomorphism, exactly once ever.
+
+    The default {!strategy} is [Seminaive]: facts are stamped with their
+    birth round, a round only enumerates bindings with at least one body
+    atom in the previous round's delta, and body evaluation plus witness
+    checks read the committed prefix of the live instance through
+    birth-windowed joins — no per-round snapshot copy.  [Naive] is the
+    reference implementation (copy + full re-join); the two agree round
+    by round (see DESIGN.md section 7 and test/test_differential.ml).
 
     Truncation is governed by a {!Bddfc_budget.Budget.t}: the engine
     charges rounds, fresh elements and added facts, checks the deadline
@@ -25,6 +33,10 @@ open Bddfc_hom
 type variant =
   | Restricted
   | Oblivious
+
+type strategy =
+  | Naive (** per-round snapshot copy + full re-join (reference) *)
+  | Seminaive (** delta-driven, in-place frontier (default) *)
 
 type outcome =
   | Fixpoint (** no trigger fired: the result is a model *)
@@ -53,24 +65,28 @@ val instantiate :
 
 val run :
   ?variant:variant ->
+  ?strategy:strategy ->
   ?datalog_only:bool ->
   ?watch:Pred.t ->
   ?budget:Budget.t ->
   ?max_rounds:int ->
   ?max_elements:int ->
   Theory.t -> Instance.t -> result
-(** Chase a copy of the instance (the input is not mutated).  [watch]
+(** Chase a copy of the instance (the input is not mutated; the copy's
+    fact births are reset, then stamped with derivation rounds).  [watch]
     stops the chase as soon as a fact of that predicate appears,
     recording the round in [watch_round]. *)
 
 val run_depth :
-  ?variant:variant -> ?budget:Budget.t -> depth:int ->
+  ?variant:variant -> ?strategy:strategy -> ?budget:Budget.t -> depth:int ->
   Theory.t -> Instance.t -> result
-(** [Chase^depth(D, T)].  Element fuel always applies (a governor's, or a
-    generous default — never unbounded). *)
+(** [Chase^depth(D, T)].  Element fuel always applies: the governor's
+    pool when one is supplied, a generous default otherwise — never
+    unbounded, and never a hardcoded ceiling stacked on the governor. *)
 
 val saturate_datalog :
-  ?budget:Budget.t -> ?max_rounds:int -> Theory.t -> Instance.t -> result
+  ?strategy:strategy -> ?budget:Budget.t -> ?max_rounds:int ->
+  Theory.t -> Instance.t -> result
 (** Fixpoint of the datalog rules only; never creates elements. *)
 
 type certainty =
@@ -80,6 +96,6 @@ type certainty =
       (** this budget exhausted after that many rounds *)
 
 val certain :
-  ?budget:Budget.t -> ?max_rounds:int -> ?max_elements:int ->
-  Theory.t -> Instance.t -> Cq.t -> certainty
+  ?strategy:strategy -> ?budget:Budget.t -> ?max_rounds:int ->
+  ?max_elements:int -> Theory.t -> Instance.t -> Cq.t -> certainty
 (** Certain answering: does [Chase(D, T) |= q]? *)

@@ -7,7 +7,10 @@
    Implementation note: rather than threading recording hooks through the
    chase engine, we replay rounds with the same semantics and record as we
    go; the test suite checks that the replay reaches the same fixpoint as
-   Chase.run. *)
+   Chase.run.  The replay supports both evaluation strategies: Naive
+   copies a snapshot per round, Seminaive (default) stamps births and
+   replays each round from the previous round's delta in place, exactly
+   like the engine. *)
 
 open Bddfc_budget
 open Bddfc_logic
@@ -52,7 +55,8 @@ let body_facts inst binding atoms =
       Fact.make (Atom.pred a) (Array.of_list ids))
     atoms
 
-let run ?budget ?max_rounds ?max_elements theory base =
+let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
+    theory base =
   let budget =
     match budget with
     | Some b -> Budget.cap ?rounds:max_rounds ?elements:max_elements b
@@ -63,6 +67,7 @@ let run ?budget ?max_rounds ?max_elements theory base =
           ()
   in
   let inst = Instance.copy base in
+  Instance.reset_fact_births inst;
   let reasons : reason Fact.Table.t = Fact.Table.create 256 in
   Instance.iter_facts (fun f -> Fact.Table.replace reasons f Given) inst;
   let record round rule binding f =
@@ -79,12 +84,27 @@ let run ?budget ?max_rounds ?max_elements theory base =
   let rec go i =
       Budget.check_deadline budget;
       Budget.charge budget Budget.Rounds 1;
-      let snapshot = Instance.copy inst in
+      let round_no = i + 1 in
+      (* the state this round's bodies and witness checks see: a copied
+         snapshot (Naive) or the committed prefix of the live instance
+         through birth windows (Seminaive) *)
+      let snapshot, upto =
+        match strategy with
+        | Chase.Naive -> (Instance.copy inst, None)
+        | Chase.Seminaive -> (inst, Some round_no)
+      in
+      let iter_bindings rule yield =
+        match strategy with
+        | Chase.Naive -> Eval.iter_solutions snapshot (Rule.body rule) yield
+        | Chase.Seminaive ->
+            Eval.iter_solutions_delta ~since:i ~upto:round_no inst
+              (Rule.body rule) yield
+      in
       let added = ref 0 in
       let demanded = Hashtbl.create 32 in
       List.iter
         (fun rule ->
-          Eval.iter_solutions snapshot (Rule.body rule) (fun binding ->
+          iter_bindings rule (fun binding ->
               if Rule.is_datalog rule then
                 List.iter
                   (fun head_atom ->
@@ -93,9 +113,9 @@ let run ?budget ?max_rounds ?max_elements theory base =
                         (fun x -> invalid_arg ("unbound " ^ x))
                         head_atom
                     in
-                    if Instance.add_fact inst f then begin
+                    if Instance.add_fact ~birth:round_no inst f then begin
                       incr added;
-                      record (i + 1) rule binding f
+                      record round_no rule binding f
                     end)
                   (Rule.head rule)
               else begin
@@ -104,7 +124,7 @@ let run ?budget ?max_rounds ?max_elements theory base =
                   Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
                 in
                 let satisfied =
-                  Eval.satisfiable ~init snapshot (Rule.head rule)
+                  Eval.satisfiable ~init ?upto snapshot (Rule.head rule)
                 in
                 let key =
                   Rule.name rule ^ "#"
@@ -122,7 +142,7 @@ let run ?budget ?max_rounds ?max_elements theory base =
                     | None ->
                         Budget.charge budget Budget.Elements 1;
                         let id =
-                          Instance.fresh_null inst ~birth:(i + 1)
+                          Instance.fresh_null inst ~birth:round_no
                             ~rule:(Rule.name rule) ~parent:None
                         in
                         Hashtbl.replace fresh_cache _x id;
@@ -131,9 +151,9 @@ let run ?budget ?max_rounds ?max_elements theory base =
                   List.iter
                     (fun head_atom ->
                       let f = Chase.instantiate inst binding fresh head_atom in
-                      if Instance.add_fact inst f then begin
+                      if Instance.add_fact ~birth:round_no inst f then begin
                         incr added;
-                        record (i + 1) rule binding f
+                        record round_no rule binding f
                       end)
                     (Rule.head rule)
                 end
@@ -141,8 +161,8 @@ let run ?budget ?max_rounds ?max_elements theory base =
         (Theory.rules theory);
       if !added = 0 then (i, true)
       else begin
-        rounds_done := i + 1;
-        go (i + 1)
+        rounds_done := round_no;
+        go round_no
       end
   in
   let rounds, saturated, tripped =

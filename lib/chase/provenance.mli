@@ -20,8 +20,13 @@ type t = {
 }
 
 val run :
-  ?budget:Budget.t -> ?max_rounds:int -> ?max_elements:int ->
-  Theory.t -> Instance.t -> t
+  ?strategy:Chase.strategy -> ?budget:Budget.t -> ?max_rounds:int ->
+  ?max_elements:int -> Theory.t -> Instance.t -> t
+(** Replay the chase, recording reasons.  [strategy] selects the same
+    naive/semi-naive round evaluation as {!Chase.run} (default
+    [Seminaive]); the recorded reasons are identical either way up to
+    tie-breaks between same-round derivations of one fact. *)
+
 val reason_of : t -> Fact.t -> reason option
 
 type tree =

@@ -78,8 +78,9 @@ let judge ?(budget = default_budget) theory db query =
       (* the pipeline gave up: let the search try, then exhaustively rule
          out small models *)
       match
-        Naive.search ?budget:governor ~params:budget.search_params theory db
-          query
+        Naive.search ?budget:governor
+          ~strategy:budget.pipeline_params.Pipeline.strategy
+          ~params:budget.search_params theory db query
       with
       | Naive.Found m ->
           let cert = { Certificate.theory; database = db; query; model = m } in

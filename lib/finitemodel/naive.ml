@@ -65,7 +65,8 @@ let rec all_assignments elements = function
       let rest = all_assignments elements zs in
       List.concat_map (fun e -> List.map (fun a -> (z, e) :: a) rest) elements
 
-let search ?budget ?(params = default_search_params) theory db (query : Cq.t) =
+let search ?budget ?strategy ?(params = default_search_params) theory db
+    (query : Cq.t) =
   let budget =
     match budget with
     | Some b -> Budget.cap ~nodes:params.max_nodes b
@@ -81,7 +82,7 @@ let search ?budget ?(params = default_search_params) theory db (query : Cq.t) =
     incr nodes;
     Budget.check_deadline budget;
     Budget.charge budget Budget.Nodes 1;
-    let sat = Chase.saturate_datalog ~budget theory inst in
+    let sat = Chase.saturate_datalog ?strategy ~budget theory inst in
     let inst = sat.Chase.instance in
     if not (Chase.is_model sat) then begin
       (* incomplete saturation cannot support a trigger search on this

@@ -34,8 +34,11 @@ type search_params = {
 val default_search_params : search_params
 
 val search :
-  ?budget:Budget.t -> ?params:search_params ->
+  ?budget:Budget.t -> ?strategy:Bddfc_chase.Chase.strategy ->
+  ?params:search_params ->
   Theory.t -> Instance.t -> Cq.t -> search_result
+(** [strategy] selects naive or semi-naive evaluation for the datalog
+    saturation inside the model-check loop (default [Seminaive]). *)
 
 type absence_result =
   | No_model

@@ -41,6 +41,7 @@ type params = {
   rewrite_max_steps : int;
   saturation_rounds : int;
   budget : Budget.t option; (* governor shared by every stage *)
+  strategy : Chase.strategy; (* evaluation strategy for every chase *)
 }
 
 let default_params =
@@ -55,6 +56,7 @@ let default_params =
     rewrite_max_steps = 2_000;
     saturation_rounds = 10_000;
     budget = None;
+    strategy = Chase.Seminaive;
   }
 
 type stats = {
@@ -178,7 +180,8 @@ and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
          entailment is decided — no deeper prefix, and no second chase to
          recover the entailment depth. *)
       let chase =
-        Chase.run ?budget ~watch:hidden.Normalize.query_pred ~max_rounds:depth
+        Chase.run ~strategy:params.strategy ?budget
+          ~watch:hidden.Normalize.query_pred ~max_rounds:depth
           ~max_elements:params.max_chase_elements t2 db
       in
       let entailed =
@@ -281,7 +284,7 @@ and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
           in
           let m0 = Instance.copy quotient.Quotient.quotient in
           let sat =
-            Chase.saturate_datalog ?budget
+            Chase.saturate_datalog ~strategy:params.strategy ?budget
               ~max_rounds:params.saturation_rounds t2 m0
           in
           let m1 = sat.Chase.instance in

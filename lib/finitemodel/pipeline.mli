@@ -28,6 +28,8 @@ type params = {
   rewrite_max_steps : int;
   saturation_rounds : int;
   budget : Budget.t option; (** governor threaded through every stage *)
+  strategy : Bddfc_chase.Chase.strategy;
+      (** evaluation strategy for every chase stage (default [Seminaive]) *)
 }
 
 val default_params : params

@@ -1,6 +1,16 @@
 (* Conjunctive-query evaluation over instances: a backtracking join with a
    greedy most-constrained-atom-first ordering, using the instance's
-   (predicate, position, element) index. *)
+   (predicate, position, element) index.
+
+   Every atom of a join carries a *birth window* [since, upto): only facts
+   whose birth round lies in the window can match it.  The plain entry
+   points use the full window (or a shared [?upto] bound, which evaluates
+   against the committed prefix of a chase round without copying the
+   instance), and [iter_solutions_delta] implements the semi-naive
+   decomposition: a binding is enumerated iff at least one atom matches a
+   fact from the delta [since, upto), and each such binding is enumerated
+   exactly once (the first delta atom is pinned to the delta, earlier
+   atoms to the pre-delta prefix, later atoms to the whole window). *)
 
 open Bddfc_logic
 open Bddfc_structure
@@ -8,6 +18,18 @@ open Bddfc_structure
 type binding = Element.id Smap.t
 
 exception Found
+
+(* Join-probe instrumentation: one probe = one candidate fact tried
+   against a partial binding.  The bench harness uses the counter to
+   compare evaluation strategies; it is global and monotonically
+   increasing between resets. *)
+let probes = ref 0
+let reset_probes () = probes := 0
+let probe_count () = !probes
+
+type window = { w_since : int; w_upto : int option }
+
+let full_window = { w_since = 0; w_upto = None }
 
 (* Resolve an atom's arguments under a binding: [Ok ids] when fully ground,
    otherwise the list of (position, resolution) pairs. *)
@@ -35,8 +57,9 @@ let resolve_args inst binding atom =
   in
   go [] (Atom.args atom)
 
-(* Candidate facts for an atom under a binding, using the cheapest index. *)
-let candidates inst binding atom =
+(* Candidate facts for an atom under a binding, using the cheapest index,
+   restricted to the atom's birth window. *)
+let candidates inst binding (atom, w) =
   match resolve_args inst binding atom with
   | None -> []
   | Some slots ->
@@ -46,7 +69,10 @@ let candidates inst binding atom =
         (fun pos slot ->
           match slot with
           | Bound id ->
-              let l = Instance.facts_with_arg inst p pos id in
+              let l =
+                Instance.facts_with_arg_window ~since:w.w_since ?upto:w.w_upto
+                  inst p pos id
+              in
               let n = List.length l in
               (match !best with
               | Some (m, _) when m <= n -> ()
@@ -54,7 +80,11 @@ let candidates inst binding atom =
           | Free _ -> ())
         slots;
       let pool =
-        match !best with Some (_, l) -> l | None -> Instance.facts_with_pred inst p
+        match !best with
+        | Some (_, l) -> l
+        | None ->
+            Instance.facts_with_pred_window ~since:w.w_since ?upto:w.w_upto
+              inst p
       in
       pool
 
@@ -78,17 +108,18 @@ let extend inst binding atom f =
   go binding (Atom.args atom) (Array.to_list (Fact.args f))
 
 (* Estimated branching of an atom under a binding (for atom ordering). *)
-let branching inst binding atom =
-  List.length (candidates inst binding atom)
+let branching inst binding watom =
+  List.length (candidates inst binding watom)
 
-let iter_solutions ?(init = Smap.empty) inst atoms yield =
+(* The core join over windowed atoms. *)
+let iter_solutions_windowed ?(init = Smap.empty) inst watoms yield =
   let rec go binding remaining =
     match remaining with
     | [] -> yield binding
     | _ ->
         (* most-constrained atom first *)
         let scored =
-          List.map (fun a -> (branching inst binding a, a)) remaining
+          List.map (fun wa -> (branching inst binding wa, wa)) remaining
         in
         let best_n, best =
           List.fold_left
@@ -98,31 +129,61 @@ let iter_solutions ?(init = Smap.empty) inst atoms yield =
         in
         if best_n = 0 then ()
         else begin
-          let rest = List.filter (fun a -> a != best) remaining in
+          let rest = List.filter (fun wa -> wa != best) remaining in
           List.iter
             (fun f ->
-              match extend inst binding best f with
+              incr probes;
+              match extend inst binding (fst best) f with
               | Some b -> go b rest
               | None -> ())
             (candidates inst binding best)
         end
   in
-  go init atoms
+  go init watoms
 
-let first_solution ?(init = Smap.empty) inst atoms =
+let iter_solutions ?(init = Smap.empty) ?upto inst atoms yield =
+  let w = { full_window with w_upto = upto } in
+  iter_solutions_windowed ~init inst (List.map (fun a -> (a, w)) atoms) yield
+
+(* Semi-naive enumeration: exactly the bindings of [iter_solutions ?upto]
+   that touch at least one fact born in [since, upto), each once.  The
+   k-th pass pins atom k to the delta, atoms before k to the pre-delta
+   prefix and atoms after k to the full window, so a binding is produced
+   only by the pass of its first delta atom. *)
+let iter_solutions_delta ?(init = Smap.empty) ~since ?upto inst atoms yield =
+  if since <= 0 then iter_solutions ~init ?upto inst atoms yield
+  else begin
+    let delta = { w_since = since; w_upto = upto } in
+    let old = { w_since = 0; w_upto = Some since } in
+    let all = { w_since = 0; w_upto = upto } in
+    List.iteri
+      (fun k _ ->
+        let watoms =
+          List.mapi
+            (fun i a ->
+              if i = k then (a, delta)
+              else if i < k then (a, old)
+              else (a, all))
+            atoms
+        in
+        iter_solutions_windowed ~init inst watoms yield)
+      atoms
+  end
+
+let first_solution ?(init = Smap.empty) ?upto inst atoms =
   let result = ref None in
   (try
-     iter_solutions ~init inst atoms (fun b ->
+     iter_solutions ~init ?upto inst atoms (fun b ->
          result := Some b;
          raise Found)
    with Found -> ());
   !result
 
-let satisfiable ?(init = Smap.empty) inst atoms =
-  first_solution ~init inst atoms <> None
+let satisfiable ?(init = Smap.empty) ?upto inst atoms =
+  first_solution ~init ?upto inst atoms <> None
 
-let holds ?(init = Smap.empty) inst (q : Cq.t) =
-  satisfiable ~init inst (Cq.body q)
+let holds ?(init = Smap.empty) ?upto inst (q : Cq.t) =
+  satisfiable ~init ?upto inst (Cq.body q)
 
 (* All answers to a query: distinct tuples of answer-variable images. *)
 let answers inst (q : Cq.t) =

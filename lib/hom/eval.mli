@@ -1,5 +1,11 @@
 (** Conjunctive-query evaluation: a backtracking join with a greedy
-    most-constrained-atom-first ordering over the instance indexes. *)
+    most-constrained-atom-first ordering over the instance indexes.
+
+    The joins are birth-aware: [?upto] restricts every atom to facts born
+    strictly before that round (the committed prefix of a chase round,
+    without copying the instance), and {!iter_solutions_delta} is the
+    semi-naive decomposition — only bindings touching the delta
+    [\[since, upto)], each enumerated exactly once. *)
 
 open Bddfc_logic
 open Bddfc_structure
@@ -7,13 +13,24 @@ open Bddfc_structure
 type binding = Element.id Smap.t
 
 val iter_solutions :
-  ?init:binding -> Instance.t -> Atom.t list -> (binding -> unit) -> unit
+  ?init:binding -> ?upto:int -> Instance.t -> Atom.t list ->
+  (binding -> unit) -> unit
 (** Enumerate all satisfying assignments of the atom list, extending the
-    initial binding.  Unknown constants simply fail to match. *)
+    initial binding.  Unknown constants simply fail to match.  [upto]
+    restricts every atom to facts with birth [< upto]. *)
 
-val first_solution : ?init:binding -> Instance.t -> Atom.t list -> binding option
-val satisfiable : ?init:binding -> Instance.t -> Atom.t list -> bool
-val holds : ?init:binding -> Instance.t -> Cq.t -> bool
+val iter_solutions_delta :
+  ?init:binding -> since:int -> ?upto:int -> Instance.t -> Atom.t list ->
+  (binding -> unit) -> unit
+(** Exactly the bindings of [iter_solutions ?upto] that match at least
+    one fact with birth in [\[since, upto)], each yielded once.  With
+    [since <= 0] this is [iter_solutions ?upto] (every binding is new). *)
+
+val first_solution :
+  ?init:binding -> ?upto:int -> Instance.t -> Atom.t list -> binding option
+
+val satisfiable : ?init:binding -> ?upto:int -> Instance.t -> Atom.t list -> bool
+val holds : ?init:binding -> ?upto:int -> Instance.t -> Cq.t -> bool
 
 val answers : Instance.t -> Cq.t -> Element.id list list
 (** Distinct answer tuples, in the order of the query's answer variables. *)
@@ -23,3 +40,11 @@ val count_answers : Instance.t -> Cq.t -> int
 val holds_at : Instance.t -> Cq.t -> string -> Element.id -> bool
 (** [holds_at inst q y e]: the paper's [C |= exists x. Psi(x, e)] — the
     query with its free variable [y] bound to [e]. *)
+
+(** {1 Instrumentation} *)
+
+val probe_count : unit -> int
+(** Join probes (candidate facts tried against a partial binding) since
+    the last {!reset_probes} — the bench harness's strategy comparator. *)
+
+val reset_probes : unit -> unit

@@ -7,7 +7,16 @@
 
    Constants are interned: asking twice for constant "a" yields the same
    id, and the id remembers its name.  Labelled nulls carry provenance so
-   the chase skeleton (Section 3.2 of the paper) can be read back. *)
+   the chase skeleton (Section 3.2 of the paper) can be read back.
+
+   Facts carry a *birth round* (default 0) so the chase can evaluate
+   semi-naively: every index list is newest-first, and as long as facts
+   arrive with non-decreasing births (the chase adds round r facts during
+   round r) each list is sorted by birth descending, making the delta of a
+   round a prefix and the committed prefix a suffix of every list — both
+   extractable in time proportional to the delta, not the instance.  If a
+   caller ever violates the monotone order the instance notices and the
+   windowed accessors fall back to a full filter (correct, just slower). *)
 
 open Bddfc_logic
 
@@ -21,6 +30,9 @@ type t = {
   by_pred : (Pred.t, Fact.t list ref) Hashtbl.t;
   by_ppe : (Pred.t * int * Element.id, Fact.t list ref) Hashtbl.t;
   mutable preds : Pred.Set.t;
+  fact_birth : int Fact.Table.t; (* absent = born at round 0 *)
+  mutable max_fact_birth : int;
+  mutable birth_monotone : bool; (* births non-decreasing in add order *)
 }
 
 let create ?(capacity = 64) () =
@@ -34,6 +46,9 @@ let create ?(capacity = 64) () =
     by_pred = Hashtbl.create 16;
     by_ppe = Hashtbl.create capacity;
     preds = Pred.Set.empty;
+    fact_birth = Fact.Table.create capacity;
+    max_fact_birth = 0;
+    birth_monotone = true;
   }
 
 let ensure_capacity inst id =
@@ -84,7 +99,7 @@ let constants inst =
 
 let mem_fact inst f = Fact.Table.mem inst.fact_set f
 
-let add_fact inst f =
+let add_fact ?(birth = 0) inst f =
   if Fact.Table.mem inst.fact_set f then false
   else begin
     Array.iter
@@ -96,6 +111,9 @@ let add_fact inst f =
     inst.fact_list <- f :: inst.fact_list;
     inst.n_facts <- inst.n_facts + 1;
     inst.preds <- Pred.Set.add (Fact.pred f) inst.preds;
+    if birth <> 0 then Fact.Table.replace inst.fact_birth f birth;
+    if birth < inst.max_fact_birth then inst.birth_monotone <- false
+    else inst.max_fact_birth <- birth;
     let push key tbl =
       match Hashtbl.find_opt tbl key with
       | Some r -> r := f :: !r
@@ -112,6 +130,47 @@ let facts inst = List.rev inst.fact_list
 
 let iter_facts fn inst = List.iter fn inst.fact_list
 
+let fact_birth inst f =
+  match Fact.Table.find_opt inst.fact_birth f with Some b -> b | None -> 0
+
+let max_fact_birth inst = inst.max_fact_birth
+
+let reset_fact_births inst =
+  Fact.Table.reset inst.fact_birth;
+  inst.max_fact_birth <- 0;
+  inst.birth_monotone <- true
+
+(* Restrict a newest-first index list to births in [since, upto).  On a
+   monotone instance the list is sorted by birth descending, so the
+   window is drop-prefix + take-while; otherwise filter the whole list. *)
+let window inst ~since ~upto l =
+  let no_upper = match upto with None -> true | Some u -> u > inst.max_fact_birth in
+  if since <= 0 && no_upper then l
+  else if inst.birth_monotone then begin
+    let rec drop = function
+      | f :: rest when (match upto with
+                        | Some u -> fact_birth inst f >= u
+                        | None -> false) ->
+          drop rest
+      | l -> l
+    in
+    let l = drop l in
+    if since <= 0 then l
+    else begin
+      let rec take acc = function
+        | f :: rest when fact_birth inst f >= since -> take (f :: acc) rest
+        | _ -> List.rev acc
+      in
+      take [] l
+    end
+  end
+  else
+    List.filter
+      (fun f ->
+        let b = fact_birth inst f in
+        b >= since && (match upto with None -> true | Some u -> b < u))
+      l
+
 let facts_with_pred inst p =
   match Hashtbl.find_opt inst.by_pred p with Some r -> !r | None -> []
 
@@ -119,6 +178,14 @@ let facts_with_arg inst p pos id =
   match Hashtbl.find_opt inst.by_ppe (p, pos, id) with
   | Some r -> !r
   | None -> []
+
+let facts_with_pred_window ?(since = 0) ?upto inst p =
+  window inst ~since ~upto (facts_with_pred inst p)
+
+let facts_with_arg_window ?(since = 0) ?upto inst p pos id =
+  window inst ~since ~upto (facts_with_arg inst p pos id)
+
+let facts_since inst since = window inst ~since ~upto:None inst.fact_list
 
 let preds inst = inst.preds
 
@@ -166,14 +233,17 @@ let to_atoms inst = List.map (atom_of_fact inst) (facts inst)
 (* Restriction and copying                                        *)
 (* -------------------------------------------------------------- *)
 
-(* A full structural copy sharing nothing with the original. *)
+(* A full structural copy sharing nothing with the original.  Facts are
+   re-added in insertion order with their birth rounds, so the copy keeps
+   the delta-window invariant of the original. *)
 let copy inst =
   let c = create ~capacity:(max 64 inst.next_id) () in
   c.next_id <- inst.next_id;
   c.infos <- Array.copy inst.infos;
   ensure_capacity c (max 0 (inst.next_id - 1));
   Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
-  iter_facts (fun f -> ignore (add_fact c f)) inst;
+  List.iter (fun f -> ignore (add_fact ~birth:(fact_birth inst f) c f))
+    (facts inst);
   c
 
 (* C restricted to a predicate set (the paper's C |` Sigma).  Elements are
@@ -183,9 +253,11 @@ let restrict_preds inst keep =
   c.next_id <- inst.next_id;
   c.infos <- Array.copy inst.infos;
   Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
-  iter_facts
-    (fun f -> if Pred.Set.mem (Fact.pred f) keep then ignore (add_fact c f))
-    inst;
+  List.iter
+    (fun f ->
+      if Pred.Set.mem (Fact.pred f) keep then
+        ignore (add_fact ~birth:(fact_birth inst f) c f))
+    (facts inst);
   c
 
 (* C restricted to an element set (the paper's C |` A): facts whose
@@ -195,11 +267,11 @@ let restrict_elements inst keep =
   c.next_id <- inst.next_id;
   c.infos <- Array.copy inst.infos;
   Hashtbl.iter (fun k v -> Hashtbl.replace c.const_ids k v) inst.const_ids;
-  iter_facts
+  List.iter
     (fun f ->
       if Array.for_all (fun id -> Element.Id_set.mem id keep) (Fact.args f)
-      then ignore (add_fact c f))
-    inst;
+      then ignore (add_fact ~birth:(fact_birth inst f) c f))
+    (facts inst);
   c
 
 (* Unary predicates true of an element. *)

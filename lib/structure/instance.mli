@@ -32,8 +32,12 @@ val constants : t -> Element.id list
 
 val mem_fact : t -> Fact.t -> bool
 
-val add_fact : t -> Fact.t -> bool
-(** Returns [false] when the fact was already present.
+val add_fact : ?birth:int -> t -> Fact.t -> bool
+(** Returns [false] when the fact was already present (its recorded birth
+    is then left untouched).  [birth] (default 0) stamps the chase round
+    the fact was derived in; the semi-naive engine relies on births being
+    non-decreasing in insertion order for its delta windows (violating
+    that is safe but demotes the windows to full filters).
     @raise Invalid_argument on an unknown element id. *)
 
 val num_facts : t -> int
@@ -43,6 +47,35 @@ val facts_with_pred : t -> Pred.t -> Fact.t list
 val facts_with_arg : t -> Pred.t -> int -> Element.id -> Fact.t list
 val preds : t -> Pred.Set.t
 val signature : t -> Signature.t
+
+(** {1 Birth rounds and delta views}
+
+    Every fact carries the chase round of its first derivation (0 for
+    base facts).  The windowed accessors restrict an index list to births
+    in [\[since, upto)]; on a birth-monotone instance (the chase's case)
+    they cost time proportional to the window, not the instance. *)
+
+val fact_birth : t -> Fact.t -> int
+(** The round the fact was first added at (0 if never stamped). *)
+
+val max_fact_birth : t -> int
+(** The largest birth stamped so far (0 on a fresh or reset instance). *)
+
+val reset_fact_births : t -> unit
+(** Forget all birth stamps: every fact becomes a round-0 base fact.  The
+    chase calls this on its working copy so delta windows of a new run
+    never see stamps from a previous one. *)
+
+val facts_since : t -> int -> Fact.t list
+(** Facts with birth [>= since], newest first — a round's delta. *)
+
+val facts_with_pred_window :
+  ?since:int -> ?upto:int -> t -> Pred.t -> Fact.t list
+(** [facts_with_pred] restricted to births in [\[since, upto)]. *)
+
+val facts_with_arg_window :
+  ?since:int -> ?upto:int -> t -> Pred.t -> int -> Element.id -> Fact.t list
+(** [facts_with_arg] restricted to births in [\[since, upto)]. *)
 
 (** {1 Conversions} *)
 
@@ -57,7 +90,8 @@ val to_atoms : t -> Atom.t list
 (** {1 Restriction and copying} *)
 
 val copy : t -> t
-(** A deep copy sharing nothing with the original; element ids coincide. *)
+(** A deep copy sharing nothing with the original; element ids coincide
+    and fact births (and insertion order) are preserved. *)
 
 val restrict_preds : t -> Pred.Set.t -> t
 (** The paper's [C |` Sigma]: keep all elements, filter facts. *)

@@ -11,6 +11,16 @@ dune runtest
 # the budget / fault-injection suite, explicitly
 dune exec test/main.exe -- test budget
 
+# the naive vs semi-naive differential oracle, explicitly
+dune exec test/main.exe -- test differential
+
+# the CLI cram suite (exit codes, diagnostics, --strategy acceptance)
+dune build @test/cli/runtest
+
+# the strategy agreement smoke: exits nonzero if the two chase
+# evaluation strategies diverge on any bench workload or zoo entry
+dune exec bench/main.exe -- --strategy-smoke
+
 # smoke-test the CLI exit-code contract
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

@@ -1,0 +1,74 @@
+The scripting contract: 0 success, 2 input error, 3 query certain,
+4 budgets exhausted before a conclusion.
+
+A terminating chase completes with exit 0:
+
+  $ cat > finite.bddfc <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc chase finite.bddfc > /dev/null
+  $ echo $?
+  0
+
+A missing file is rejected by argument validation with exit 2:
+
+  $ bddfc chase no-such-file.bddfc
+  bddfc: FILE argument: no 'no-such-file.bddfc' file or directory
+  Usage: bddfc chase [OPTION]… FILE
+  Try 'bddfc chase --help' or 'bddfc --help' for more information.
+  [2]
+
+A malformed program is a one-line diagnostic and exit 2:
+
+  $ cat > broken.bddfc <<'EOF'
+  > p(X) ->
+  > EOF
+  $ bddfc chase broken.bddfc 2>&1 | wc -l
+  1
+  $ bddfc chase broken.bddfc > /dev/null 2>&1
+  [2]
+
+A command-line usage error shares exit 2:
+
+  $ bddfc chase --no-such-flag finite.bddfc > /dev/null 2>&1
+  [2]
+
+A certain query has no countermodel: exit 3.
+
+  $ cat > certain.bddfc <<'EOF'
+  > p(X) -> q(X).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc model certain.bddfc
+  the query is certain (chase depth 1): no countermodel exists
+  [3]
+
+Budgets exhausted before a conclusion: exit 4.
+
+  $ cat > diverging.bddfc <<'EOF'
+  > e(X,Y) -> exists Z. e(Y,Z).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(a,b).
+  > ? u(X,Y).
+  > EOF
+  $ bddfc model --fuel 4 diverging.bddfc > /dev/null
+  [4]
+
+The model command needs a query:
+
+  $ cat > noquery.bddfc <<'EOF'
+  > p(a).
+  > EOF
+  $ bddfc model noquery.bddfc
+  bddfc: noquery.bddfc: the model command needs a query
+  [2]
+
+An unknown zoo entry is an input error:
+
+  $ bddfc zoo no-such-entry
+  bddfc: unknown zoo entry no-such-entry
+  [2]

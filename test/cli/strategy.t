@@ -1,0 +1,54 @@
+Every subcommand accepts --strategy naive|seminaive, and the two
+strategies agree observably.
+
+  $ cat > prog.bddfc <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+
+chase: identical output under both strategies.
+
+  $ bddfc chase --strategy naive prog.bddfc > naive.out
+  $ bddfc chase --strategy seminaive prog.bddfc > seminaive.out
+  $ diff naive.out seminaive.out
+  $ grep -- '-- rounds' seminaive.out
+  -- rounds: 2, elements: 2, facts: 3, fixpoint (the result is a model)
+
+rewrite and classify accept (and ignore) the flag:
+
+  $ bddfc rewrite --strategy naive prog.bddfc > /dev/null
+  $ echo $?
+  0
+  $ bddfc classify --strategy seminaive prog.bddfc > /dev/null
+  $ echo $?
+  0
+
+model and judge thread it through the pipeline:
+
+  $ bddfc model --strategy naive prog.bddfc > naive.out
+  [3]
+  $ bddfc model --strategy seminaive prog.bddfc > seminaive.out
+  [3]
+  $ diff naive.out seminaive.out
+
+  $ bddfc judge --strategy naive prog.bddfc > /dev/null
+  [3]
+  $ bddfc judge --strategy seminaive prog.bddfc > /dev/null
+  [3]
+
+dot and zoo accept it:
+
+  $ bddfc dot --strategy naive prog.bddfc > naive.out
+  $ bddfc dot --strategy seminaive prog.bddfc > seminaive.out
+  $ diff naive.out seminaive.out
+
+  $ bddfc zoo --strategy naive > /dev/null
+  $ echo $?
+  0
+
+A bad strategy value is a usage error (exit 2):
+
+  $ bddfc chase --strategy eager prog.bddfc > /dev/null 2>&1
+  [2]

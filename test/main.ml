@@ -13,4 +13,5 @@ let () =
       Test_extensions.suite;
       Test_provenance.suite;
       Test_budget.suite;
+      Test_differential.suite;
     ]

@@ -267,6 +267,53 @@ let test_pipeline_fuel_exhaustion_is_unknown () =
   | Pipeline.Unknown _ -> ()
   | _ -> Alcotest.fail "10 elements of fuel cannot settle sec55"
 
+(* The semi-naive trap sweep: force exhaustion at every charge point of
+   a delta-driven chase.  The engine must never leak Budget.Exhausted,
+   and the committed prefix must be consistent — every stamped round is
+   complete or absent, i.e. the facts born in the fully executed rounds
+   are exactly those of an untrapped chase of that depth. *)
+let test_seminaive_fuel_trap_sweep () =
+  (* existential growth and a datalog closure rule, so the trap can land
+     mid-delta in either kind of work *)
+  let t = th "e(X,Y) -> exists Z. e(Y,Z). e(X,Y), e(Y,Z) -> p(X,Z)." in
+  let d = db "e(a,b). e(b,c)." in
+  for n = 0 to 60 do
+    let b = Budget.with_fuel_trap ~after:n (Budget.v ()) in
+    match
+      Chase.run ~strategy:Chase.Seminaive ~budget:b ~max_rounds:10 t d
+    with
+    | exception exn ->
+        Alcotest.failf "trap %d escaped the chase: %s" n
+          (Printexc.to_string exn)
+    | r ->
+        (* births never exceed the round being executed when the trap hit *)
+        Instance.iter_facts
+          (fun f ->
+            let birth = Instance.fact_birth r.Chase.instance f in
+            if birth < 0 || birth > r.Chase.rounds + 1 then
+              Alcotest.failf "trap %d: birth %d outside %d rounds" n birth
+                r.Chase.rounds)
+          r.Chase.instance;
+        (* the fully executed rounds match an untrapped run of that depth *)
+        let complete =
+          match r.Chase.outcome with
+          | Chase.Exhausted _ -> max 0 (r.Chase.rounds - 1)
+          | _ -> r.Chase.rounds
+        in
+        if complete > 0 then begin
+          let reference = Chase.run_depth ~depth:complete t d in
+          let prefix =
+            List.filter
+              (fun f -> Instance.fact_birth r.Chase.instance f <= complete)
+              (Instance.facts r.Chase.instance)
+          in
+          check Alcotest.int
+            (Printf.sprintf "trap %d: committed prefix facts" n)
+            (Instance.num_facts reference.Chase.instance)
+            (List.length prefix)
+        end
+  done
+
 (* The tentpole fault-injection sweep: force exhaustion at the N-th
    budget charge point, for N across the whole pipeline run.  Whatever
    stage the trap lands in, construct must degrade to a structured
@@ -328,6 +375,7 @@ let suite =
       tc "chase: round fuel" test_chase_round_fuel;
       tc "chase: run_depth element hole closed"
         test_run_depth_element_fuel_applies;
+      tc "chase: semi-naive fuel-trap sweep" test_seminaive_fuel_trap_sweep;
       tc "chase: certain reports the tripped budget"
         test_certain_reports_budget;
       tc "provenance: budget recorded" test_provenance_budget;

@@ -1,0 +1,263 @@
+(* Differential oracle for the chase evaluation strategies: the naive
+   (snapshot + full re-join) and semi-naive (delta-driven, in-place
+   frontier) paths must be observationally identical — same number of
+   rounds, same per-round fact counts, same outcome, homomorphically
+   equivalent final instances — on every zoo workload and on a sweep of
+   random theories, including under a watched predicate and under
+   deterministic mid-run fuel traps.
+
+   Why the oracle is hom-both-ways rather than syntactic equality: the
+   two strategies may allocate labelled nulls in a different order within
+   a round, so instances agree only up to null renaming.  Equal element
+   and fact counts plus homomorphisms in both directions pin the
+   instances down to isomorphism for our purposes. *)
+
+open Bddfc_budget
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_chase
+open Bddfc_workload
+module H = Bddfc_hom.Hom
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let th src = Parser.parse_theory src
+let db src = Instance.of_atoms (Parser.parse_atoms src)
+
+let run_both ?variant ?watch ?max_rounds ?max_elements theory base =
+  let go strategy =
+    Chase.run ?variant ~strategy ?watch ?max_rounds ?max_elements theory base
+  in
+  (go Chase.Naive, go Chase.Seminaive)
+
+(* The round-by-round agreement every clean (un-trapped) run must show. *)
+let check_agree name (a : Chase.result) (b : Chase.result) =
+  check Alcotest.int (name ^ ": rounds") a.Chase.rounds b.Chase.rounds;
+  check
+    Alcotest.(list int)
+    (name ^ ": new facts per round")
+    a.Chase.new_facts_per_round b.Chase.new_facts_per_round;
+  check Alcotest.int (name ^ ": total facts")
+    (Instance.num_facts a.Chase.instance)
+    (Instance.num_facts b.Chase.instance);
+  check Alcotest.int (name ^ ": total elements")
+    (Instance.num_elements a.Chase.instance)
+    (Instance.num_elements b.Chase.instance);
+  check Alcotest.bool (name ^ ": is_model") (Chase.is_model a)
+    (Chase.is_model b);
+  check
+    Alcotest.(option int)
+    (name ^ ": watch round")
+    a.Chase.watch_round b.Chase.watch_round;
+  (* isomorphism up to null renaming: hom both ways on equal counts *)
+  check Alcotest.bool
+    (name ^ ": hom naive -> seminaive")
+    true
+    (H.exists a.Chase.instance b.Chase.instance);
+  check Alcotest.bool
+    (name ^ ": hom seminaive -> naive")
+    true
+    (H.exists b.Chase.instance a.Chase.instance)
+
+(* ----------------------------------------------------------------- *)
+(* Zoo workloads                                                      *)
+(* ----------------------------------------------------------------- *)
+
+let test_zoo_agreement () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let a, b =
+        run_both ~max_rounds:8 ~max_elements:2_000 e.Zoo.theory d
+      in
+      check_agree e.Zoo.name a b)
+    Zoo.all
+
+let test_zoo_oblivious_agreement () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let a, b =
+        run_both ~variant:Chase.Oblivious ~max_rounds:5 ~max_elements:2_000
+          e.Zoo.theory d
+      in
+      check_agree (e.Zoo.name ^ "/oblivious") a b)
+    Zoo.all
+
+let test_zoo_saturation_agreement () =
+  (* datalog-only saturation must agree too (Naive.search's inner loop) *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let go strategy = Chase.saturate_datalog ~strategy e.Zoo.theory d in
+      check_agree (e.Zoo.name ^ "/saturate") (go Chase.Naive)
+        (go Chase.Seminaive))
+    Zoo.all
+
+(* ----------------------------------------------------------------- *)
+(* Random theories: the fuzzing sweep                                 *)
+(* ----------------------------------------------------------------- *)
+
+let random_cases = List.init 60 (fun i -> i)
+
+let test_random_agreement () =
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      let a, b = run_both ~max_rounds:6 ~max_elements:400 theory d in
+      check_agree (Printf.sprintf "seed %d" seed) a b)
+    random_cases
+
+let test_random_provenance_agreement () =
+  (* the provenance replay reaches the same instance either way *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      let go strategy =
+        Provenance.run ~strategy ~max_rounds:5 ~max_elements:300 theory d
+      in
+      let a = go Chase.Naive and b = go Chase.Seminaive in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: provenance facts" seed)
+        (Instance.num_facts a.Provenance.instance)
+        (Instance.num_facts b.Provenance.instance);
+      check Alcotest.int
+        (Printf.sprintf "seed %d: provenance rounds" seed)
+        a.Provenance.rounds b.Provenance.rounds)
+    (List.init 12 (fun i -> i * 5))
+
+(* ----------------------------------------------------------------- *)
+(* Watched predicates                                                 *)
+(* ----------------------------------------------------------------- *)
+
+let test_watch_agreement () =
+  (* goal appears after a few propagation rounds; both strategies must
+     stop at the same watch round *)
+  let t =
+    th
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z).
+         p(X,Y), p(Y,Z) -> goal(X,Z). |}
+  in
+  let d = db "e(a,b)." in
+  let a, b =
+    run_both ~watch:(Pred.make "goal" 2) ~max_rounds:20 ~max_elements:200 t d
+  in
+  check Alcotest.bool "watched" true (a.Chase.outcome = Chase.Watched);
+  check_agree "watch" a b;
+  (* and on the random sweep, watching a predicate of the signature *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      match Signature.preds (Theory.signature theory) with
+      | [] -> ()
+      | p :: _ ->
+          let a, b =
+            run_both ~watch:p ~max_rounds:6 ~max_elements:400 theory d
+          in
+          check
+            Alcotest.(option int)
+            (Printf.sprintf "seed %d: watch round" seed)
+            a.Chase.watch_round b.Chase.watch_round)
+    (List.init 15 (fun i -> i * 3))
+
+(* ----------------------------------------------------------------- *)
+(* Fuel traps                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let test_round_budget_agreement () =
+  (* round-granular budgets stop both strategies at the same prefix, so
+     the full agreement oracle applies even to truncated runs *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      List.iter
+        (fun rounds ->
+          let go strategy =
+            Chase.run ~strategy
+              ~budget:(Budget.v ~rounds ~elements:400 ())
+              theory d
+          in
+          check_agree
+            (Printf.sprintf "seed %d rounds %d" seed rounds)
+            (go Chase.Naive) (go Chase.Seminaive))
+        [ 1; 2; 3 ])
+    (List.init 10 (fun i -> i * 7))
+
+let test_fuel_trap_no_leak () =
+  (* a forced exhaustion at every charge point: the semi-naive engine
+     must never leak Budget.Exhausted, and every stamped birth must lie
+     within the executed rounds *)
+  let t =
+    th
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z). |}
+  in
+  let d = db "e(a,b). e(b,c)." in
+  List.iter
+    (fun after ->
+      List.iter
+        (fun strategy ->
+          let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+          match Chase.run ~strategy ~budget:b ~max_rounds:12 t d with
+          | exception Budget.Exhausted _ ->
+              Alcotest.failf "trap %d leaked Budget.Exhausted" after
+          | r ->
+              Instance.iter_facts
+                (fun f ->
+                  let birth = Instance.fact_birth r.Chase.instance f in
+                  if birth < 0 || birth > r.Chase.rounds + 1 then
+                    Alcotest.failf "trap %d: birth %d outside rounds %d"
+                      after birth r.Chase.rounds)
+                r.Chase.instance)
+        [ Chase.Naive; Chase.Seminaive ])
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let test_fuel_trap_prefix_consistent () =
+  (* exhaustion mid-delta: the committed prefix (births strictly below
+     the last fully executed round) must coincide with an untrapped run
+     truncated at that many rounds — every stamped round is complete or
+     absent *)
+  let t = th "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let d = Gen.chain ~len:12 () in
+  List.iter
+    (fun after ->
+      let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+      let trapped = Chase.run ~budget:b ~max_rounds:20 t d in
+      let complete = max 0 (trapped.Chase.rounds - 1) in
+      if complete > 0 then begin
+        let reference = Chase.run ~max_rounds:complete t d in
+        let prefix_facts =
+          List.filter
+            (fun f ->
+              Instance.fact_birth trapped.Chase.instance f <= complete)
+            (Instance.facts trapped.Chase.instance)
+        in
+        check Alcotest.int
+          (Printf.sprintf "trap %d: committed prefix facts" after)
+          (Instance.num_facts reference.Chase.instance)
+          (List.length prefix_facts)
+      end)
+    [ 5; 17; 40; 99; 250 ]
+
+let suite =
+  ( "differential",
+    [ tc "zoo: naive vs seminaive agree" test_zoo_agreement;
+      tc "zoo: oblivious variant agrees" test_zoo_oblivious_agreement;
+      tc "zoo: datalog saturation agrees" test_zoo_saturation_agreement;
+      tc "random theories: 60 seeds agree" test_random_agreement;
+      tc "random theories: provenance replay agrees"
+        test_random_provenance_agreement;
+      tc "watch: both strategies stop at the same round" test_watch_agreement;
+      tc "round budgets: truncated prefixes agree"
+        test_round_budget_agreement;
+      tc "fuel traps: no Budget.Exhausted leak, births in range"
+        test_fuel_trap_no_leak;
+      tc "fuel traps: committed prefix is round-complete"
+        test_fuel_trap_prefix_consistent;
+    ] )
