@@ -584,6 +584,63 @@ let ex14_strategies () =
         strategies)
     (ex14_workloads ())
 
+(* EX-15: the analyzer over the zoo (diagnostic counts per entry) and the
+   acyclicity pre-flight's verdict upgrades.  Every entry runs twice
+   under a starvation fuel budget (every counter at 2): once with the
+   pre-flight ablated, once with it on.  An entry "promotes" when the
+   ablated run is Unknown and the pre-flight run is definite. *)
+let ex15_analysis () =
+  header "EX-15: theory analyzer + acyclicity pre-flight upgrades";
+  Fmt.pr "%-16s %-30s %-8s %-14s %-14s %s@." "entry" "lint" "acyclic"
+    "no-preflight" "preflight" "promoted";
+  let starved () =
+    Budget.v ~rounds:2 ~elements:2 ~facts:2 ~rewrite_steps:2 ~refine_steps:2
+      ~nodes:2 ()
+  in
+  let outcome preflight (e : Zoo.entry) =
+    let params =
+      { Finitemodel.Pipeline.default_params with
+        budget = Some (starved ());
+        preflight;
+      }
+    in
+    match
+      Finitemodel.Pipeline.construct ~params e.Zoo.theory
+        (Zoo.database_instance e) e.Zoo.query
+    with
+    | Finitemodel.Pipeline.Model (cert, _) ->
+        ( Printf.sprintf "model(%d)"
+            (I.num_elements cert.Finitemodel.Certificate.model),
+          true )
+    | Finitemodel.Pipeline.Query_entailed d ->
+        (Printf.sprintf "certain@%d" d, true)
+    | Finitemodel.Pipeline.Unknown _ -> ("unknown", false)
+  in
+  let promoted = ref 0 in
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let program =
+        { Logic.Parser.rules = Logic.Theory.rules e.Zoo.theory;
+          facts = e.Zoo.database;
+          queries = [ e.Zoo.query ];
+        }
+      in
+      let ds = Analysis.Analyzer.analyze_program program in
+      let acyclic =
+        not (Analysis.Analyzer.has_code Analysis.Analyzer.Codes.wa_cycle ds)
+        || not (Analysis.Analyzer.has_code Analysis.Analyzer.Codes.ja_cycle ds)
+      in
+      let without, def0 = outcome false e in
+      let with_, def1 = outcome true e in
+      let p = def1 && not def0 in
+      if p then incr promoted;
+      Fmt.pr "%-16s %-30s %-8b %-14s %-14s %b@." e.Zoo.name
+        (Fmt.str "%a" Analysis.Diagnostic.pp_counts
+           (Analysis.Diagnostic.count ds))
+        acyclic without with_ p)
+    Zoo.all;
+  Fmt.pr "promoted to definite by the pre-flight: %d@." !promoted
+
 (* The CI smoke: both strategies must agree round by round on every
    workload (fact counts per round, total facts, rounds, outcome).
    Divergence is a bug in one of the evaluation paths. *)
@@ -645,5 +702,6 @@ let () =
   encodings ();
   ablations ();
   ex14_strategies ();
+  ex15_analysis ();
   micro ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

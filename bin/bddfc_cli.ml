@@ -3,6 +3,7 @@
      bddfc chase FILE       run the chase on a program file
      bddfc rewrite FILE     compute UCQ rewritings of the file's queries
      bddfc classify FILE    print the class report of the file's theory
+     bddfc lint FILE        static analysis: located diagnostics with witnesses
      bddfc model FILE       run the Theorem 2 pipeline on the file
      bddfc zoo [NAME]       list the paper's examples / run one
 
@@ -55,15 +56,18 @@ let load path =
   let p = Logic.Parser.parse_program src in
   let theory = Logic.Theory.make p.Logic.Parser.rules in
   let db = Structure.Instance.of_atoms p.Logic.Parser.facts in
-  (theory, db, p.Logic.Parser.queries)
+  (theory, db, p.Logic.Parser.queries, p)
 
 (* Run [k] on the loaded program, turning parse errors and malformed
    input into a one-line diagnostic plus the input-error exit code —
    never a backtrace. *)
 let with_program path k =
   match load path with
-  | exception Logic.Parser.Parse_error msg ->
-      Fmt.epr "bddfc: %s: parse error: %s@." path msg;
+  | exception Logic.Parser.Parse_error { loc; msg } ->
+      (match loc with
+      | Some l ->
+          Fmt.epr "%a: parse error: %s@." (Logic.Loc.pp_in_file path) l msg
+      | None -> Fmt.epr "bddfc: %s: parse error: %s@." path msg);
       exit_input_error
   | exception Sys_error msg ->
       Fmt.epr "bddfc: %s@." msg;
@@ -144,6 +148,18 @@ let strategy_term =
               the default) or $(b,naive) (per-round snapshot re-join; \
               reference implementation).")
 
+(* Commands that run the pipeline accept --no-preflight so the
+   acyclicity-based fuel-free chase can be ablated (and its verdict
+   upgrades regression-tested). *)
+let no_preflight_term =
+  Arg.(
+    value & flag
+    & info [ "no-preflight" ]
+        ~doc:"Disable the acyclicity pre-flight: by default a weakly (or \
+              jointly) acyclic theory is chased fuel-free to its \
+              guaranteed fixpoint, upgrading budget-truncated unknowns \
+              to definite verdicts.")
+
 (* ----------------------------- chase ----------------------------- *)
 
 let chase_cmd =
@@ -160,7 +176,7 @@ let chase_cmd =
   in
   let run file rounds variant strategy budget verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, db, queries) ->
+    with_program file @@ fun (theory, db, queries, _) ->
     let r =
       Chase.Chase.run ~variant ~strategy ?budget ~max_rounds:rounds theory db
     in
@@ -192,7 +208,7 @@ let rewrite_cmd =
   in
   let run file max_disjuncts (_ : Chase.Chase.strategy) budget verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, _, queries) ->
+    with_program file @@ fun (theory, _, queries, _) ->
     if queries = [] then Fmt.epr "no queries in %s@." file;
     let all_complete = ref true in
     List.iter
@@ -218,7 +234,7 @@ let rewrite_cmd =
 let classify_cmd =
   let run file (_ : Chase.Chase.strategy) budget verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, _, _) ->
+    with_program file @@ fun (theory, _, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
     let k =
       Rewriting.Rewrite.kappa ?budget ~max_disjuncts:100 ~max_steps:2000 theory
@@ -230,15 +246,62 @@ let classify_cmd =
   Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
     Term.(const run $ file_arg $ strategy_term $ budget_term $ verbose_arg)
 
+(* ------------------------------ lint ------------------------------ *)
+
+let lint_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (FILE:LINE:COL: severity[code]: \
+                message; witness) or $(b,json) (an array of diagnostic \
+                objects).")
+  in
+  let deny =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Treat warnings as fatal: exit with the input-error code \
+                when any warning (or error) is reported.  Info-level \
+                class-membership diagnostics never fail the lint.")
+  in
+  let run file format deny verbose =
+    setup_logs verbose;
+    with_program file @@ fun (_, _, _, program) ->
+    let diags = Analysis.Analyzer.analyze_program program in
+    let counts = Analysis.Diagnostic.count diags in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun d -> Fmt.pr "%a@." (Analysis.Diagnostic.pp_text ~file) d)
+          diags;
+        Fmt.pr "%s: %a@." file Analysis.Diagnostic.pp_counts counts
+    | `Json -> Fmt.pr "%a@." (Analysis.Diagnostic.pp_json_list ~file) diags);
+    if
+      counts.Analysis.Diagnostic.errors > 0
+      || (deny && counts.Analysis.Diagnostic.warnings > 0)
+    then exit_input_error
+    else exit_ok
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of a program file: located diagnostics, each \
+          carrying a concrete witness (offending atom, dependency cycle, \
+          sticky-marking trace)."
+       ~exits)
+    Term.(const run $ file_arg $ format $ deny $ verbose_arg)
+
 (* ----------------------------- model ----------------------------- *)
 
 let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth strategy budget verbose =
+  let run file depth strategy budget no_preflight verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, db, queries) ->
+    with_program file @@ fun (theory, db, queries, _) ->
     match queries with
     | [] ->
         Fmt.epr "bddfc: %s: the model command needs a query@." file;
@@ -249,6 +312,7 @@ let model_cmd =
             chase_depth = depth;
             budget;
             strategy;
+            preflight = not no_preflight;
           }
         in
         match Finitemodel.Pipeline.construct ~params theory db q with
@@ -280,14 +344,15 @@ let model_cmd =
           rules avoiding the query."
        ~exits)
     Term.(
-      const run $ file_arg $ depth $ strategy_term $ budget_term $ verbose_arg)
+      const run $ file_arg $ depth $ strategy_term $ budget_term
+      $ no_preflight_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file strategy budget verbose =
+  let run file strategy budget no_preflight verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, db, queries) ->
+    with_program file @@ fun (theory, db, queries, _) ->
     match queries with
     | [] ->
         Fmt.epr "bddfc: %s: the judge command needs a query@." file;
@@ -296,7 +361,11 @@ let judge_cmd =
         let jb =
           { Finitemodel.Judge.default_budget with
             pipeline_params =
-              { Finitemodel.Pipeline.default_params with budget; strategy };
+              { Finitemodel.Pipeline.default_params with
+                budget;
+                strategy;
+                preflight = not no_preflight;
+              };
           }
         in
         let v = Finitemodel.Judge.judge ~budget:jb theory db q in
@@ -316,7 +385,9 @@ let judge_cmd =
          "Everything the library can say about finite controllability of \
           the file's (rules, facts, query) triple."
        ~exits)
-    Term.(const run $ file_arg $ strategy_term $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ strategy_term $ budget_term $ no_preflight_term
+      $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -330,7 +401,7 @@ let dot_cmd =
   in
   let run file out rounds strategy budget verbose =
     setup_logs verbose;
-    with_program file @@ fun (theory, db, _) ->
+    with_program file @@ fun (theory, db, _, _) ->
     let r = Chase.Chase.run ~strategy ?budget ~max_rounds:rounds theory db in
     let dot = Structure.Dot.to_string r.Chase.Chase.instance in
     (match out with
@@ -354,7 +425,12 @@ let zoo_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
            ~doc:"Zoo entry to run (omit to list).")
   in
-  let run name strategy budget verbose =
+  let dump =
+    Arg.(value & flag & info [ "dump" ]
+           ~doc:"Print the entry as a parseable program and exit; feed the \
+                 result back through $(b,bddfc lint) or $(b,bddfc model).")
+  in
+  let run name dump strategy budget no_preflight verbose =
     setup_logs verbose;
     match name with
     | None ->
@@ -369,13 +445,26 @@ let zoo_cmd =
         | None ->
             Fmt.epr "bddfc: unknown zoo entry %s@." n;
             exit_input_error
+        | Some e when dump ->
+            List.iter
+              (fun r -> Fmt.pr "%a.@." Logic.Rule.pp r)
+              (Logic.Theory.rules e.Workload.Zoo.theory);
+            List.iter
+              (fun a -> Fmt.pr "%a.@." Logic.Atom.pp a)
+              e.Workload.Zoo.database;
+            Fmt.pr "%a.@." Logic.Cq.pp e.Workload.Zoo.query;
+            exit_ok
         | Some e -> (
             Fmt.pr "@[<v>%s (%s)@,theory:@,%a@,query: %a@,@]"
               e.Workload.Zoo.name e.Workload.Zoo.reference Logic.Theory.pp
               e.Workload.Zoo.theory Logic.Cq.pp e.Workload.Zoo.query;
             let db = Workload.Zoo.database_instance e in
             let params =
-              { Finitemodel.Pipeline.default_params with budget; strategy }
+              { Finitemodel.Pipeline.default_params with
+                budget;
+                strategy;
+                preflight = not no_preflight;
+              }
             in
             match
               Finitemodel.Pipeline.construct ~params e.Workload.Zoo.theory db
@@ -395,7 +484,9 @@ let zoo_cmd =
                 exit_unknown))
   in
   Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
-    Term.(const run $ entry_name $ strategy_term $ budget_term $ verbose_arg)
+    Term.(
+      const run $ entry_name $ dump $ strategy_term $ budget_term
+      $ no_preflight_term $ verbose_arg)
 
 let main =
   let info =
@@ -404,8 +495,8 @@ let main =
       ~exits
   in
   Cmd.group info
-    [ chase_cmd; rewrite_cmd; classify_cmd; model_cmd; judge_cmd; dot_cmd;
-      zoo_cmd ]
+    [ chase_cmd; rewrite_cmd; classify_cmd; lint_cmd; model_cmd; judge_cmd;
+      dot_cmd; zoo_cmd ]
 
 (* command-line usage errors share the input-error code so every
    "you gave me bad input" failure is scriptable as exit 2 *)

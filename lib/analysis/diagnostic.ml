@@ -1,0 +1,112 @@
+(* Structured, located lint diagnostics.
+
+   Every finding of the static analyzer is a [t]: a stable machine code,
+   a severity, the source position of the offending syntax, a one-line
+   human message, and a *concrete witness* — the refutation object
+   (offending atom, cycle, marking trace) rendered as text, never a bare
+   boolean.
+
+   Severities encode the lint contract:
+     - [Error]   the program is almost certainly not what the user meant
+                 (e.g. one predicate name used at two arities); [bddfc
+                 lint] exits with the input-error code;
+     - [Warning] suspicious but runnable; fails under [--deny-warnings];
+     - [Info]    a class-membership fact with its refutation witness
+                 (non-guarded, not weakly acyclic, ...): not a defect,
+                 the pipeline merely loses the matching fast path. *)
+
+open Bddfc_logic
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  code : string; (* stable kebab-case code, e.g. "arity-mismatch" *)
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  witness : string; (* the concrete refutation object, rendered *)
+}
+
+let v ?(loc = Loc.none) ~code ~severity ~witness fmt =
+  Format.kasprintf
+    (fun message -> { code; severity; loc; message; witness })
+    fmt
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Streams sort by position, then severity, then code: stable output for
+   cram tests and deterministic JSON. *)
+let compare a b =
+  let c = Loc.compare a.loc b.loc in
+  if c <> 0 then c
+  else
+    let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message
+
+(* ---------------- text rendering ---------------- *)
+
+(* "FILE:3:14: warning[singleton-var]: message; witness: ..." *)
+let pp_text ~file ppf d =
+  Fmt.pf ppf "%a: %s[%s]: %s" (Loc.pp_in_file file) d.loc
+    (severity_name d.severity) d.code d.message;
+  if d.witness <> "" then Fmt.pf ppf "; witness: %s" d.witness
+
+let pp ppf d = pp_text ~file:"-" ppf d
+
+(* ---------------- JSON rendering ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json ~file ppf d =
+  Fmt.pf ppf
+    {|{"file":"%s","line":%d,"col":%d,"severity":"%s","code":"%s","message":"%s","witness":"%s"}|}
+    (json_escape file) (Loc.line d.loc) (Loc.col d.loc)
+    (severity_name d.severity) (json_escape d.code) (json_escape d.message)
+    (json_escape d.witness)
+
+let pp_json_list ~file ppf ds =
+  Fmt.pf ppf "[@[<v>%a@]]" Fmt.(list ~sep:(any ",@,") (pp_json ~file)) ds
+
+(* ---------------- aggregation ---------------- *)
+
+type counts = { errors : int; warnings : int; infos : int }
+
+let count ds =
+  List.fold_left
+    (fun c d ->
+      match d.severity with
+      | Error -> { c with errors = c.errors + 1 }
+      | Warning -> { c with warnings = c.warnings + 1 }
+      | Info -> { c with infos = c.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    ds
+
+let pp_counts ppf c =
+  Fmt.pf ppf "%d error%s, %d warning%s, %d info%s" c.errors
+    (if c.errors = 1 then "" else "s")
+    c.warnings
+    (if c.warnings = 1 then "" else "s")
+    c.infos
+    (if c.infos = 1 then "" else "s")

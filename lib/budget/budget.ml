@@ -100,6 +100,13 @@ let with_deadline_s s t =
 
 let with_fuel_trap ~after t = { t with trap = Some (ref after) }
 
+(* Keep only the wall-clock (and any fault-injection trap): the budget a
+   pre-flight hands to a chase it has *proved* terminating — fuel bounds
+   would just truncate a run that is known to converge, while the
+   deadline still protects against pathological (if finite) blow-ups. *)
+let deadline_only t =
+  { unlimited with deadline = t.deadline; trap = t.trap }
+
 let counter t = function
   | Deadline -> None
   | Rounds -> t.rounds

@@ -76,6 +76,12 @@ val with_fuel_trap : after:int -> t -> t
     {!charge} or {!check_deadline} on this governor or a budget sharing
     its trap) raises {!Exhausted} with the resource being charged. *)
 
+val deadline_only : t -> t
+(** Drop every fuel counter, keeping the (shared) deadline and fuel trap.
+    For engines that have *proved* their loop terminates (e.g. the chase
+    of a weakly acyclic theory): fuel would only truncate a convergent
+    run, while the wall-clock still bounds pathological blow-ups. *)
+
 val charge : t -> resource -> int -> unit
 (** Consume [n] units of fuel; also checks the deadline and the trap.
     @raise Exhausted when the trap fires, the deadline has passed, or the

@@ -23,11 +23,19 @@ let positions_of x atoms =
 
 (* ---------------- Weak acyclicity ---------------- *)
 
-type edge = { from_pos : Pos.t; to_pos : Pos.t; special : bool }
+type edge = {
+  from_pos : Pos.t;
+  to_pos : Pos.t;
+  special : bool;
+  rule : string; (* name of the rule inducing the edge *)
+  var : string; (* the propagated frontier variable, or for a special
+                   edge the existential variable being created *)
+}
 
 let dependency_edges theory =
   List.concat_map
     (fun rule ->
+      let rname = Rule.name rule in
       let frontier = Rule.SS.elements (Rule.frontier rule) in
       let exvars = Rule.SS.elements (Rule.existential_vars rule) in
       List.concat_map
@@ -37,7 +45,9 @@ let dependency_edges theory =
             List.concat_map
               (fun bp ->
                 List.map
-                  (fun hp -> { from_pos = bp; to_pos = hp; special = false })
+                  (fun hp ->
+                    { from_pos = bp; to_pos = hp; special = false;
+                      rule = rname; var = x })
                   (positions_of x (Rule.head rule)))
               body_pos
           in
@@ -47,7 +57,9 @@ let dependency_edges theory =
                 List.concat_map
                   (fun z ->
                     List.map
-                      (fun hp -> { from_pos = bp; to_pos = hp; special = true })
+                      (fun hp ->
+                        { from_pos = bp; to_pos = hp; special = true;
+                          rule = rname; var = z })
                       (positions_of z (Rule.head rule)))
                   exvars)
               body_pos
@@ -56,33 +68,75 @@ let dependency_edges theory =
         frontier)
     (Theory.rules theory)
 
-(* Reachability over the dependency graph. *)
-let reachable edges start =
-  let adj = Hashtbl.create 64 in
-  List.iter
-    (fun e ->
-      Hashtbl.replace adj e.from_pos
-        (e.to_pos
-        :: Option.value ~default:[] (Hashtbl.find_opt adj e.from_pos)))
-    edges;
-  let rec go seen = function
-    | [] -> seen
-    | p :: rest ->
-        if Pos_set.mem p seen then go seen rest
+(* BFS path of edges from [src] to [dst] (the empty path when they are
+   equal), used to close a special edge into an explicit cycle. *)
+let edge_path edges src dst =
+  if Pos.compare src dst = 0 then Some []
+  else begin
+    let adj = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        Hashtbl.replace adj e.from_pos
+          (e :: Option.value ~default:[] (Hashtbl.find_opt adj e.from_pos)))
+      edges;
+    let parent = Hashtbl.create 64 in
+    let seen = ref (Pos_set.singleton src) in
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      List.iter
+        (fun e ->
+          if not (Pos_set.mem e.to_pos !seen) then begin
+            seen := Pos_set.add e.to_pos !seen;
+            Hashtbl.replace parent e.to_pos e;
+            if Pos.compare e.to_pos dst = 0 then found := true
+            else Queue.add e.to_pos q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt adj p))
+    done;
+    if not !found then None
+    else begin
+      (* walk parents back from dst to src *)
+      let rec back acc p =
+        if Pos.compare p src = 0 then acc
         else
-          go (Pos_set.add p seen)
-            (Option.value ~default:[] (Hashtbl.find_opt adj p) @ rest)
-  in
-  go Pos_set.empty [ start ]
+          let e = Hashtbl.find parent p in
+          back (e :: acc) e.from_pos
+      in
+      Some (back [] dst)
+    end
+  end
 
-(* Weakly acyclic iff no special edge lies on a cycle, i.e. no special edge
-   (u, v) with u reachable from v. *)
-let weakly_acyclic theory =
+(* An explicit witness against weak acyclicity: a special edge together
+   with the path closing it into a cycle.  The returned edges form the
+   cycle in order (first edge is the special one). *)
+let special_cycle theory =
   let edges = dependency_edges theory in
-  List.for_all
+  List.find_map
     (fun e ->
-      (not e.special) || not (Pos_set.mem e.from_pos (reachable edges e.to_pos)))
+      if not e.special then None
+      else
+        Option.map (fun path -> e :: path) (edge_path edges e.to_pos e.from_pos))
     edges
+
+(* Weakly acyclic iff no special edge lies on a cycle. *)
+let weakly_acyclic theory = special_cycle theory = None
+
+let pp_pos ppf (p, i) = Fmt.pf ppf "%s[%d]" (Pred.name p) (i + 1)
+
+(* "e[2] =(r1:exists Z)=> e[2]": '=' edges are special (existential),
+   '-' edges are regular frontier propagation. *)
+let pp_edge ppf e =
+  if e.special then
+    Fmt.pf ppf "%a =(%s:exists %s)=> %a" pp_pos e.from_pos e.rule e.var
+      pp_pos e.to_pos
+  else
+    Fmt.pf ppf "%a -(%s:%s)-> %a" pp_pos e.from_pos e.rule e.var pp_pos
+      e.to_pos
+
+let pp_cycle ppf cycle = Fmt.(list ~sep:(any "; ") pp_edge) ppf cycle
 
 (* ---------------- Joint acyclicity ---------------- *)
 
@@ -113,7 +167,10 @@ let omega theory rule z =
   in
   fix start
 
-let jointly_acyclic theory =
+(* An explicit witness against joint acyclicity: a cycle in the
+   existential-variable dependency graph, as a list of (rule name, exvar)
+   pairs in dependency order. *)
+let joint_cycle theory =
   (* existential variables, tagged by their rule *)
   let exvars =
     List.concat_map
@@ -133,18 +190,37 @@ let jointly_acyclic theory =
         ps <> [] && List.for_all (fun p -> Pos_set.mem p om) ps)
       (Rule.body_vars r')
   in
-  (* cycle detection over the exvar dependency graph *)
+  (* cycle detection over the exvar dependency graph, keeping the DFS
+     stack so a back edge yields the explicit cycle *)
   let nodes = exvars in
   let adj n = List.filter (fun n' -> depends n' n) nodes in
-  let rec dfs color n =
-    match Hashtbl.find_opt color n with
-    | Some `Done -> true
-    | Some `Active -> false
-    | None ->
-        Hashtbl.replace color n `Active;
-        let ok = List.for_all (dfs color) (adj n) in
-        Hashtbl.replace color n `Done;
-        ok
-  in
   let color = Hashtbl.create 16 in
-  List.for_all (dfs color) nodes
+  let rec dfs stack n =
+    match Hashtbl.find_opt color n with
+    | Some `Done -> None
+    | Some `Active ->
+        (* the part of the stack from the previous visit of [n] closes
+           the cycle *)
+        let rec cut acc = function
+          | [] -> acc
+          | m :: rest ->
+              if m = n then m :: acc else cut (m :: acc) rest
+        in
+        Some (cut [] stack)
+    | None -> (
+        Hashtbl.replace color n `Active;
+        let hit = List.find_map (dfs (n :: stack)) (adj n) in
+        match hit with
+        | Some _ -> hit
+        | None ->
+            Hashtbl.replace color n `Done;
+            None)
+  in
+  List.find_map (dfs []) nodes
+  |> Option.map (List.map (fun (r, z) -> (Rule.name r, z)))
+
+let jointly_acyclic theory = joint_cycle theory = None
+
+let pp_joint_cycle ppf cycle =
+  Fmt.(list ~sep:(any " -> ") (fun ppf (r, z) -> Fmt.pf ppf "%s:%s" r z))
+    ppf cycle

@@ -10,11 +10,46 @@ end
 
 module Pos_set : Set.S with type elt = Pos.t
 
+type edge = {
+  from_pos : Pos.t;
+  to_pos : Pos.t;
+  special : bool;
+  rule : string;  (** name of the rule inducing the edge *)
+  var : string;
+      (** the propagated frontier variable; for a special edge the
+          existential variable being created *)
+}
+
+val dependency_edges : Theory.t -> edge list
+(** The position dependency graph of the theory (Fagin et al.): a regular
+    edge per frontier-variable propagation, a special edge from every
+    frontier position to every existentially-created position. *)
+
+val special_cycle : Theory.t -> edge list option
+(** An explicit witness against weak acyclicity: a cycle of edges (first
+    one special), or [None] when the theory is weakly acyclic. *)
+
 val weakly_acyclic : Theory.t -> bool
 (** Weak acyclicity: no special edge of the position dependency graph lies
-    on a cycle; guarantees chase termination. *)
+    on a cycle; guarantees chase termination.  [weakly_acyclic t] iff
+    [special_cycle t = None]. *)
+
+val joint_cycle : Theory.t -> (string * string) list option
+(** An explicit witness against joint acyclicity: a cycle of
+    [(rule name, existential variable)] nodes in dependency order, or
+    [None] when the theory is jointly acyclic. *)
 
 val jointly_acyclic : Theory.t -> bool
 (** Joint acyclicity: acyclicity of the existential-variable dependency
     graph over the Omega position sets; strictly more permissive than weak
-    acyclicity. *)
+    acyclicity.  [jointly_acyclic t] iff [joint_cycle t = None]. *)
+
+val pp_pos : Pos.t Fmt.t
+(** ["e[2]"] — 1-based position display. *)
+
+val pp_edge : edge Fmt.t
+(** ["e[2] =(r1:exists Z)=> e[2]"] (special) /
+    ["e[2] -(r1:Y)-> e[1]"] (regular). *)
+
+val pp_cycle : edge list Fmt.t
+val pp_joint_cycle : (string * string) list Fmt.t

@@ -72,22 +72,9 @@ let marked_positions theory =
   in
   fix base
 
-(* Count body occurrences of [x] (total, across atoms). *)
-let occurrences x atoms =
-  List.fold_left
-    (fun n a ->
-      n
-      + List.length (List.filter (Term.equal (Term.Var x)) (Atom.args a)))
-    0 atoms
-
+(* Delegated to the analyzer, whose marking fixpoint also records the
+   provenance of every mark — so a failure comes with a trace. *)
 let is_sticky theory =
-  let marked = marked_positions theory in
-  List.for_all
-    (fun r ->
-      Rule.SS.for_all
-        (fun x ->
-          let occs = positions_of x (Rule.body r) in
-          let is_marked = List.exists (fun p -> Pos_set.mem p marked) occs in
-          (not is_marked) || occurrences x (Rule.body r) <= 1)
-        (Rule.body_vars r))
-    (Theory.rules theory)
+  match Bddfc_analysis.Analyzer.sticky_violations theory with
+  | [] -> true
+  | _ :: _ -> false

@@ -15,6 +15,7 @@ module Logic = Bddfc_logic
 module Structure = Bddfc_structure
 module Hom = Bddfc_hom
 module Chase = Bddfc_chase
+module Analysis = Bddfc_analysis
 module Rewriting = Bddfc_rewriting
 module Ptp = Bddfc_ptp
 module Finitemodel = Bddfc_finitemodel

@@ -32,6 +32,9 @@ type verdict = {
   conjecture_applies : bool;
       (* binary signature + all body rewritings complete: Theorem 1 says a
          countermodel must exist whenever the query is not certain *)
+  chase_terminating : bool;
+      (* weakly or jointly acyclic: the chase reaches a fixpoint on every
+         instance, so the pipeline pre-flight runs it fuel-free *)
 }
 
 type budget = {
@@ -68,7 +71,13 @@ let judge ?(budget = default_budget) theory db query =
   let conjecture_applies =
     classes.Classes.Recognize.binary && kappa.Rewriting.Rewrite.all_complete
   in
-  let finish evidence = { evidence; classes; kappa; conjecture_applies } in
+  let chase_terminating =
+    classes.Classes.Recognize.weakly_acyclic
+    || classes.Classes.Recognize.jointly_acyclic
+  in
+  let finish evidence =
+    { evidence; classes; kappa; conjecture_applies; chase_terminating }
+  in
   match
     Pipeline.construct ~params:budget.pipeline_params theory db query
   with
@@ -126,5 +135,8 @@ let pp_evidence ppf = function
   | Open why -> Fmt.pf ppf "inconclusive: %s" why
 
 let pp ppf v =
-  Fmt.pf ppf "@[<v>%a@,theorem-1 scope (binary + BDD): %b@,%a@]" pp_evidence
-    v.evidence v.conjecture_applies Classes.Recognize.pp_report v.classes
+  Fmt.pf ppf
+    "@[<v>%a@,theorem-1 scope (binary + BDD): %b@,\
+     chase terminates (acyclicity): %b@,%a@]"
+    pp_evidence v.evidence v.conjecture_applies v.chase_terminating
+    Classes.Recognize.pp_report v.classes

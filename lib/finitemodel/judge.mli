@@ -21,6 +21,10 @@ type verdict = {
   conjecture_applies : bool;
       (** binary + BDD: Theorem 1 guarantees a countermodel exists
           whenever the query is not certain *)
+  chase_terminating : bool;
+      (** the theory is weakly or jointly acyclic, so every chase reaches
+          a fixpoint; the pipeline pre-flight then runs it fuel-free and
+          certainty/countermodel answers are definite, not truncated *)
 }
 
 type budget = {

@@ -42,6 +42,11 @@ type params = {
   saturation_rounds : int;
   budget : Budget.t option; (* governor shared by every stage *)
   strategy : Chase.strategy; (* evaluation strategy for every chase *)
+  preflight : bool;
+      (* before the truncated schedule, test the normalized theory for
+         weak/joint acyclicity; a positive proof lets the chase run
+         fuel-free (deadline only) to its guaranteed fixpoint, turning
+         budget-truncated Unknowns into definite verdicts *)
 }
 
 let default_params =
@@ -57,6 +62,7 @@ let default_params =
     saturation_rounds = 10_000;
     budget = None;
     strategy = Chase.Seminaive;
+    preflight = true;
   }
 
 type stats = {
@@ -71,6 +77,8 @@ type stats = {
   model_size : int option;
   attempts : (int * string) list; (* failed n with reason, newest first *)
   tripped : Budget.resource option; (* budget behind an Unknown, if any *)
+  preflight_terminating : bool;
+      (* the acyclicity pre-flight proved this chase terminates *)
 }
 
 let empty_stats =
@@ -86,6 +94,7 @@ let empty_stats =
     model_size = None;
     attempts = [];
     tripped = None;
+    preflight_terminating = false;
   }
 
 type outcome =
@@ -115,6 +124,43 @@ let rec construct ?(params = default_params) theory db (query : Cq.t) =
       Unknown ("normalization: " ^ reason, empty_stats)
   | split ->
       let t2 = split.Normalize.theory in
+      (* -------- pre-flight: acyclicity implies termination -------- *)
+      (* The chase of a weakly (or jointly) acyclic theory reaches a
+         fixpoint on every instance, so fuel bounds would only truncate a
+         run that is known to converge.  Run it once, fuel-free — the
+         wall-clock deadline stays as the safety net — and the fixpoint
+         (or watched query) is a *definite* verdict where the truncated
+         schedule below could answer Unknown. *)
+      let preflight_outcome =
+        if
+          params.preflight
+          && (Termination.weakly_acyclic t2
+             || Termination.jointly_acyclic t2)
+        then begin
+          Log.info (fun f ->
+              f "pre-flight: theory is acyclic, chasing to fixpoint");
+          let budget =
+            Some
+              (match params.budget with
+              | Some b -> Budget.deadline_only b
+              | None -> Budget.unlimited)
+          in
+          match
+            construct_at ~params ~budget ~hidden ~t2 ~terminating:true
+              theory db query ~depth:params.chase_depth
+          with
+          | Unknown _ ->
+              (* only a deadline (or injected fault) can interrupt a
+                 terminating chase: fall back to the truncated schedule,
+                 which degrades gracefully with whatever time is left *)
+              None
+          | outcome -> Some outcome
+        end
+        else None
+      in
+      match preflight_outcome with
+      | Some outcome -> outcome
+      | None ->
       (* Some theories advance one chase "level" only every few rounds
          (witness creation, then joining, then datalog); a prefix too
          shallow for the quotient's periodic tail shows up as unsatisfied
@@ -174,15 +220,22 @@ let rec construct ?(params = default_params) theory db (query : Cq.t) =
         []
         (match params.depth_growth with [] -> [ 1 ] | l -> l)
 
-and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
+and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
+    db query ~depth =
       (* -------- step 3: chase prefix -------- *)
       (* Watching the hidden query predicate stops the chase the moment
          entailment is decided — no deeper prefix, and no second chase to
-         recover the entailment depth. *)
+         recover the entailment depth.  A [terminating] chase (acyclicity
+         pre-flight) gets no round or element ceiling: it is proved to
+         reach a fixpoint, and the caller's budget is deadline-only. *)
       let chase =
-        Chase.run ~strategy:params.strategy ?budget
-          ~watch:hidden.Normalize.query_pred ~max_rounds:depth
-          ~max_elements:params.max_chase_elements t2 db
+        if terminating then
+          Chase.run ~strategy:params.strategy ?budget
+            ~watch:hidden.Normalize.query_pred t2 db
+        else
+          Chase.run ~strategy:params.strategy ?budget
+            ~watch:hidden.Normalize.query_pred ~max_rounds:depth
+            ~max_elements:params.max_chase_elements t2 db
       in
       let entailed =
         chase.Chase.outcome = Chase.Watched
@@ -195,6 +248,7 @@ and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
           chase_rounds = chase.Chase.rounds;
           chase_elements = Instance.num_elements chase.Chase.instance;
           chase_fixpoint = chase.Chase.outcome = Chase.Fixpoint;
+          preflight_terminating = terminating;
         }
       in
       if entailed then begin
@@ -232,6 +286,10 @@ and construct_at ~params ~budget ~hidden ~t2 theory db query ~depth =
         match
           match chase.Chase.outcome with
           | Chase.Exhausted (Budget.Deadline as r) -> Some r
+          | Chase.Exhausted r when terminating ->
+              (* a terminating chase has no fuel ceiling; any other
+                 exhaustion here is an injected fault *)
+              Some r
           | _ -> Option.bind budget Budget.exhausted_now
         with
         | Some r ->

@@ -30,6 +30,11 @@ type params = {
   budget : Budget.t option; (** governor threaded through every stage *)
   strategy : Bddfc_chase.Chase.strategy;
       (** evaluation strategy for every chase stage (default [Seminaive]) *)
+  preflight : bool;
+      (** test the normalized theory for weak/joint acyclicity first
+          (default [true]): a positive proof lets the chase run fuel-free
+          (deadline only) to its guaranteed fixpoint, upgrading
+          budget-truncated Unknowns to definite verdicts *)
 }
 
 val default_params : params
@@ -47,6 +52,8 @@ type stats = {
   attempts : (int * string) list; (** failed depths with reasons *)
   tripped : Budget.resource option;
       (** the budget behind an [Unknown], when one tripped *)
+  preflight_terminating : bool;
+      (** the acyclicity pre-flight proved this chase terminates *)
 }
 
 val empty_stats : stats

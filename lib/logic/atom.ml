@@ -2,19 +2,27 @@
 
 module SS = Sset
 
-type t = { pred : Pred.t; args : Term.t list } [@@deriving eq, ord]
+type t = {
+  pred : Pred.t;
+  args : Term.t list;
+  loc : Loc.t; [@equal fun _ _ -> true] [@compare fun _ _ -> 0]
+      (* where the atom was parsed; never part of structural equality *)
+}
+[@@deriving eq, ord]
 
-let make pred args =
+let make ?(loc = Loc.none) pred args =
   if List.length args <> Pred.arity pred then
     invalid_arg
       (Printf.sprintf "Atom.make: %s expects %d arguments, got %d"
          (Pred.name pred) (Pred.arity pred) (List.length args));
-  { pred; args }
+  { pred; args; loc }
 
-let app name args = make (Pred.make name (List.length args)) args
+let app ?loc name args = make ?loc (Pred.make name (List.length args)) args
 let pred a = a.pred
 let args a = a.args
 let arity a = Pred.arity a.pred
+let loc a = a.loc
+let with_loc loc a = { a with loc }
 
 let vars a =
   List.filter_map Term.as_var a.args

@@ -2,17 +2,23 @@
 
 module SS = Sset
 
-type t = { pred : Pred.t; args : Term.t list }
+type t = {
+  pred : Pred.t;
+  args : Term.t list;
+  loc : Loc.t;  (** source position; never part of structural equality *)
+}
 
-val make : Pred.t -> Term.t list -> t
+val make : ?loc:Loc.t -> Pred.t -> Term.t list -> t
 (** @raise Invalid_argument when the argument count differs from the arity. *)
 
-val app : string -> Term.t list -> t
+val app : ?loc:Loc.t -> string -> Term.t list -> t
 (** [app name args] infers the predicate from [name] and [List.length args]. *)
 
 val pred : t -> Pred.t
 val args : t -> Term.t list
 val arity : t -> int
+val loc : t -> Loc.t
+val with_loc : Loc.t -> t -> t
 val vars : t -> string list
 val var_set : t -> SS.t
 val consts : t -> string list

@@ -1,0 +1,34 @@
+(* Source locations.  Line and column are 1-based; [none] (0:0) marks
+   synthesized syntax (normalization, compilation, tests).  Locations are
+   carried by atoms and rules but never participate in their structural
+   equality, so a parsed atom and its synthesized twin stay equal. *)
+
+type t = { line : int; col : int }
+
+let none = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+let is_none l = l.line = 0
+let line l = l.line
+let col l = l.col
+
+(* "3:14" — the conventional prefix position of a located diagnostic. *)
+let pp ppf l =
+  if is_none l then Fmt.string ppf "-"
+  else Fmt.pf ppf "%d:%d" l.line l.col
+
+(* "FILE:3:14" when a file name is known. *)
+let pp_in_file file ppf l =
+  if is_none l then Fmt.string ppf file
+  else Fmt.pf ppf "%s:%d:%d" file l.line l.col
+
+let show = Fmt.to_to_string pp
+
+(* Diagnostic streams sort by position; synthesized syntax sinks last. *)
+let compare a b =
+  match (is_none a, is_none b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false ->
+      let c = Int.compare a.line b.line in
+      if c <> 0 then c else Int.compare a.col b.col

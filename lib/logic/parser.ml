@@ -9,7 +9,12 @@
 
    Identifiers starting with an uppercase letter (or '_') are variables;
    lowercase identifiers are predicate names or constants depending on
-   position.  '%' starts a comment running to end of line. *)
+   position.  '%' starts a comment running to end of line.
+
+   Every token carries a 1-based line:column location; atoms and rules
+   keep the location of their leading token, and parse errors carry the
+   location of the offending token, so downstream diagnostics (and the
+   CLI) can point at FILE:LINE:COL. *)
 
 type program = {
   rules : Rule.t list;
@@ -17,9 +22,15 @@ type program = {
   queries : Cq.t list;
 }
 
-exception Parse_error of string
+exception Parse_error of { loc : Loc.t option; msg : string }
 
-let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let error ?loc fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error { loc; msg })) fmt
+
+let error_message = function
+  | Parse_error { loc = Some l; msg } -> Fmt.str "%a: %s" Loc.pp l msg
+  | Parse_error { loc = None; msg } -> msg
+  | _ -> invalid_arg "Parser.error_message: not a Parse_error"
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                              *)
@@ -58,13 +69,16 @@ let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in (* byte offset of the current line's start *)
   let i = ref 0 in
-  let emit t = toks := (t, !line) :: !toks in
+  let loc_at pos = Loc.make ~line:!line ~col:(pos - !bol + 1) in
+  let emit ?(at = !i) t = toks := (t, loc_at at) :: !toks in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '%' then begin
@@ -87,11 +101,11 @@ let tokenize src =
         incr i
       done;
       let word = String.sub src start (!i - start) in
-      if String.equal word "exists" then emit Texists
-      else if c = '_' || (c >= 'A' && c <= 'Z') then emit (Tvar word)
-      else emit (Tident word)
+      if String.equal word "exists" then emit ~at:start Texists
+      else if c = '_' || (c >= 'A' && c <= 'Z') then emit ~at:start (Tvar word)
+      else emit ~at:start (Tident word)
     end
-    else error "line %d: unexpected character %C" !line c
+    else error ~loc:(loc_at !i) "unexpected character %C" c
   done;
   emit Teof;
   List.rev !toks
@@ -100,10 +114,10 @@ let tokenize src =
 (* Parser                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type state = { mutable toks : (token * int) list }
+type state = { mutable toks : (token * Loc.t) list }
 
 let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
-let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let loc_of st = match st.toks with (_, l) :: _ -> l | [] -> Loc.none
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
@@ -111,8 +125,9 @@ let advance st =
 let expect st tok =
   let got = peek st in
   if got = tok then advance st
-  else error "line %d: expected %a but found %a" (line_of st) pp_token tok
-    pp_token got
+  else
+    error ~loc:(loc_of st) "expected %a but found %a" pp_token tok pp_token
+      got
 
 let parse_term st =
   match peek st with
@@ -122,11 +137,12 @@ let parse_term st =
   | Tident c ->
       advance st;
       Term.Cst c
-  | t -> error "line %d: expected a term, found %a" (line_of st) pp_token t
+  | t -> error ~loc:(loc_of st) "expected a term, found %a" pp_token t
 
 let parse_atom st =
   match peek st with
   | Tident name ->
+      let loc = loc_of st in
       advance st;
       if peek st = Tlparen then begin
         advance st;
@@ -140,13 +156,13 @@ let parse_atom st =
               advance st;
               List.rev (t :: acc)
           | tok ->
-              error "line %d: expected ',' or ')', found %a" (line_of st)
-                pp_token tok
+              error ~loc:(loc_of st) "expected ',' or ')', found %a" pp_token
+                tok
         in
-        Atom.app name (args [])
+        Atom.app ~loc name (args [])
       end
-      else Atom.app name [] (* propositional atom *)
-  | t -> error "line %d: expected an atom, found %a" (line_of st) pp_token t
+      else Atom.app ~loc name [] (* propositional atom *)
+  | t -> error ~loc:(loc_of st) "expected an atom, found %a" pp_token t
 
 let parse_atom_list st =
   let rec go acc =
@@ -169,12 +185,13 @@ let parse_var_list st =
             advance st;
             go (x :: acc)
         | _ -> List.rev (x :: acc))
-    | t -> error "line %d: expected a variable, found %a" (line_of st) pp_token t
+    | t -> error ~loc:(loc_of st) "expected a variable, found %a" pp_token t
   in
   go []
 
 (* A statement is a fact, a rule or a query, terminated by '.'. *)
 let parse_statement st =
+  let start_loc = loc_of st in
   match peek st with
   | Tquestion ->
       advance st;
@@ -195,27 +212,25 @@ let parse_statement st =
       match peek st with
       | Tdot ->
           advance st;
-          let ground = List.for_all Atom.is_ground atoms in
-          if not ground then
-            error "line %d: facts must be ground" (line_of st);
+          (match List.find_opt (fun a -> not (Atom.is_ground a)) atoms with
+          | Some a -> error ~loc:(Atom.loc a) "facts must be ground"
+          | None -> ());
           `Facts atoms
       | Tarrow ->
           advance st;
-          let _exvars =
+          let declared_ex =
             if peek st = Texists then begin
               advance st;
               let vs = parse_var_list st in
               expect st Tdot;
-              vs
+              Some (Sset.of_list vs)
             end
-            else []
+            else None
           in
           let head = parse_atom_list st in
           expect st Tdot;
-          `Rule (Rule.make ~body:atoms ~head ())
-      | t ->
-          error "line %d: expected '.' or '->', found %a" (line_of st)
-            pp_token t)
+          `Rule (Rule.make ~loc:start_loc ?declared_ex ~body:atoms ~head ())
+      | t -> error ~loc:(loc_of st) "expected '.' or '->', found %a" pp_token t)
 
 let parse_program src =
   let st = { toks = tokenize src } in

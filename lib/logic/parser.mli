@@ -9,7 +9,13 @@ type program = {
   queries : Cq.t list;
 }
 
-exception Parse_error of string
+exception Parse_error of { loc : Loc.t option; msg : string }
+(** [loc] is the position of the offending token, when one is known. *)
+
+val error_message : exn -> string
+(** Render a {!Parse_error} as ["LINE:COL: message"] (or just the message
+    when no location is known).
+    @raise Invalid_argument on any other exception. *)
 
 val parse_program : string -> program
 

@@ -5,12 +5,25 @@
 
 module SS = Sset
 
-type t = { name : string; body : Atom.t list; head : Atom.t list }
+type t = {
+  name : string;
+  body : Atom.t list;
+  head : Atom.t list;
+  loc : Loc.t; [@equal fun _ _ -> true] [@compare fun _ _ -> 0]
+      (* where the rule was parsed; never part of structural equality *)
+  declared_ex : SS.t option;
+      [@equal fun _ _ -> true] [@compare fun _ _ -> 0]
+      (* the surface-syntax [exists Z1,...,Zk.] list, when one was
+         written; [None] for rules without an exists clause.  The actual
+         existential variables are always [existential_vars]; the
+         declaration is kept only so the analyzer can diagnose
+         declaration/use mismatches. *)
+}
 [@@deriving eq, ord]
 
 let counter = ref 0
 
-let make ?name ~body ~head () =
+let make ?name ?(loc = Loc.none) ?declared_ex ~body ~head () =
   if body = [] then invalid_arg "Rule.make: empty body";
   if head = [] then invalid_arg "Rule.make: empty head";
   let name =
@@ -20,11 +33,13 @@ let make ?name ~body ~head () =
         incr counter;
         "r" ^ string_of_int !counter
   in
-  { name; body; head }
+  { name; body; head; loc; declared_ex }
 
 let name r = r.name
 let body r = r.body
 let head r = r.head
+let loc r = r.loc
+let declared_existentials r = r.declared_ex
 
 let body_vars r = Atom.vars_of_atoms r.body
 let head_vars r = Atom.vars_of_atoms r.head
@@ -62,9 +77,13 @@ let rename_apart r =
     Subst.of_bindings
       (List.map (fun x -> (x, Term.Var (Term.fresh_var ()))) vars)
   in
+  let ren_var x =
+    match Subst.find_opt x ren with Some (Term.Var y) -> y | _ -> x
+  in
   { r with
     body = Subst.apply_atoms ren r.body;
     head = Subst.apply_atoms ren r.head;
+    declared_ex = Option.map (SS.map ren_var) r.declared_ex;
   }
 
 let body_query r = Cq.make ~answer:(SS.elements (frontier r)) r.body

@@ -4,15 +4,36 @@
 
 module SS = Sset
 
-type t = { name : string; body : Atom.t list; head : Atom.t list }
+type t = {
+  name : string;
+  body : Atom.t list;
+  head : Atom.t list;
+  loc : Loc.t;  (** source position; never part of structural equality *)
+  declared_ex : SS.t option;
+      (** the surface-syntax [exists ...] list, if one was written *)
+}
 
-val make : ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> t
+val make :
+  ?name:string ->
+  ?loc:Loc.t ->
+  ?declared_ex:SS.t ->
+  body:Atom.t list ->
+  head:Atom.t list ->
+  unit ->
+  t
 (** @raise Invalid_argument on empty body or head.  Unnamed rules receive a
     generated name [rN]. *)
 
 val name : t -> string
 val body : t -> Atom.t list
 val head : t -> Atom.t list
+val loc : t -> Loc.t
+
+val declared_existentials : t -> SS.t option
+(** The variables the surface syntax declared with [exists], when the rule
+    came from the parser and had such a clause.  The semantic existential
+    variables are {!existential_vars}; a mismatch between the two is a
+    lint diagnostic, not an error. *)
 val body_vars : t -> SS.t
 val head_vars : t -> SS.t
 val existential_vars : t -> SS.t

@@ -37,9 +37,9 @@ let mk name reference theory_src db_src query_src expectation =
 let ex1 =
   mk "ex1" "Example 1"
     {|
-      e(X,Y) -> exists Z. e(Y,Z).
+      e(_X,Y) -> exists Z. e(Y,Z).
       e(X,Y), e(Y,Z), e(Z,X) -> exists T. u(X,T).
-      u(X,Y) -> exists Z. u(Y,Z).
+      u(_X,Y) -> exists Z. u(Y,Z).
     |}
     "e(a,b)." "? u(X,Y)." Countermodel_exists
 
@@ -48,7 +48,7 @@ let ex1 =
 let ex7 =
   mk "ex7" "Examples 7 and 8"
     {|
-      e(X,Y) -> exists Z. e(Y,Z).
+      e(_X,Y) -> exists Z. e(Y,Z).
       e(X,Y), e(X2,Y) -> r(X,X2).
     |}
     "e(a,b)." "? e(X,X)." Countermodel_exists
@@ -58,10 +58,10 @@ let ex7 =
 let ex9 =
   mk "ex9" "Example 9"
     {|
-      f(X,Y) -> exists Z. f(Y,Z).
-      f(X,Y) -> exists Z. g(Y,Z).
-      g(X,Y) -> exists Z. f(Y,Z).
-      g(X,Y) -> exists Z. g(Y,Z).
+      f(_X,Y) -> exists Z. f(Y,Z).
+      f(_X,Y) -> exists Z. g(Y,Z).
+      g(_X,Y) -> exists Z. f(Y,Z).
+      g(_X,Y) -> exists Z. g(Y,Z).
     |}
     "f(a,b)." "? f(X,Y), g(X,Y)." Countermodel_exists
 
@@ -70,7 +70,7 @@ let ex9 =
 let remark3 =
   mk "remark3" "Remark 3"
     {|
-      e(X,Y) -> exists Z. e(Y,Z).
+      e(_X,Y) -> exists Z. e(Y,Z).
       e(X,Y), e(Y,Z) -> e(X,Z).
     |}
     "e(a,a). e(b,c)." "? e(X,X)." Query_certain
@@ -80,7 +80,7 @@ let remark3 =
 let sec55 =
   mk "sec55" "Section 5.5"
     {|
-      e(X,Y) -> exists Z. e(Y,Z).
+      e(_X,Y) -> exists Z. e(Y,Z).
       r(X,Y), e(X,X2), e(Y,Z), e(Z,Y2) -> r(X2,Y2).
     |}
     "e(a0,a1). r(a0,a0)." "? e(X,Y), r(Y,Y)." Not_finitely_controllable
@@ -88,7 +88,7 @@ let sec55 =
 (* A linear theory (Section 1: Linear Datalog-exists is BDD and FC). *)
 let linear =
   mk "linear" "Section 1 (Linear)"
-    "e(X,Y) -> exists Z. e(Y,Z)."
+    "e(_X,Y) -> exists Z. e(Y,Z)."
     "e(a,b)." "? e(X,X)." Countermodel_exists
 
 (* A sticky theory (Section 1: Sticky Datalog-exists, [4]/[6]). *)
@@ -96,7 +96,7 @@ let sticky =
   mk "sticky" "Section 1 (Sticky)"
     {|
       p(X) -> exists Y. r(X,Y).
-      r(X,Y) -> p(Y).
+      r(_X,Y) -> p(Y).
     |}
     "p(a)." "? r(X,X)." Countermodel_exists
 
@@ -106,7 +106,7 @@ let weakly_acyclic =
   mk "weakly_acyclic" "terminating-chase baseline"
     {|
       p(X) -> exists Y. e(X,Y).
-      e(X,Y) -> q(Y).
+      e(_X,Y) -> q(Y).
     |}
     "p(a)." "? e(X,X)." Countermodel_exists
 
@@ -116,7 +116,7 @@ let guarded_ternary =
     {|
       start(X) -> exists Z. c(X,Z).
       c(X,Y) -> exists Z. g(X,Y,Z).
-      g(X,Y,Z) -> d(Y,Z).
+      g(_X,Y,Z) -> d(Y,Z).
     |}
     "start(a)." "? d(Y,Y)." Countermodel_exists
 
@@ -125,7 +125,7 @@ let guarded_ternary =
 let sec54 =
   mk "sec54" "Section 5.4"
     {|
-      r(X,X2,Y,Z) -> e(Y,Z).
+      r(_X,_X2,Y,Z) -> e(Y,Z).
       e(X,Y), e(T,Y) -> exists Z. r(X,T,Y,Z).
     |}
     "e(a,b)." "? e(X,X)." Countermodel_exists

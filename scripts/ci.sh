@@ -5,8 +5,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# the dev profile (dune's default) carries -warn-error +a via the root
+# env stanza, so any compiler warning fails this build
 dune build @all
 dune runtest
+
+# source hygiene: no tabs, no trailing whitespace in tracked sources
+fmt_bad=$(grep -rln -e '	' -e ' $' \
+  --include='*.ml' --include='*.mli' --include='dune' \
+  lib bin bench test 2>/dev/null || true)
+if [ -n "$fmt_bad" ]; then
+  echo "ci: tabs or trailing whitespace in:" >&2
+  echo "$fmt_bad" >&2
+  exit 1
+fi
 
 # the budget / fault-injection suite, explicitly
 dune exec test/main.exe -- test budget
@@ -24,6 +36,16 @@ dune exec bench/main.exe -- --strategy-smoke
 # smoke-test the CLI exit-code contract
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# the analyzer gate: every shipped example and every zoo entry must lint
+# clean (class-membership infos are fine; warnings are not)
+for f in examples/programs/*.dlg; do
+  dune exec bin/bddfc_cli.exe -- lint --deny-warnings "$f" > /dev/null
+done
+dune exec bin/bddfc_cli.exe -- zoo | awk '{print $1}' | while read -r n; do
+  dune exec bin/bddfc_cli.exe -- zoo "$n" --dump > "$tmp/zoo_$n.dlg"
+  dune exec bin/bddfc_cli.exe -- lint --deny-warnings "$tmp/zoo_$n.dlg" > /dev/null
+done
 
 # the Section 5.5 non-FC theory: the chase never settles the query and
 # no finite countermodel exists, so only a budget can end the run

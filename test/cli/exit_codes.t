@@ -21,14 +21,24 @@ A missing file is rejected by argument validation with exit 2:
   Try 'bddfc chase --help' or 'bddfc --help' for more information.
   [2]
 
-A malformed program is a one-line diagnostic and exit 2:
+A malformed program is a one-line, FILE:LINE:COL-located diagnostic and
+exit 2:
 
   $ cat > broken.bddfc <<'EOF'
   > p(X) ->
   > EOF
   $ bddfc chase broken.bddfc 2>&1 | wc -l
   1
-  $ bddfc chase broken.bddfc > /dev/null 2>&1
+  $ bddfc chase broken.bddfc
+  broken.bddfc:2:1: parse error: expected an atom, found end of input
+  [2]
+
+  $ cat > broken2.bddfc <<'EOF'
+  > p(a).
+  > q(b,) .
+  > EOF
+  $ bddfc lint broken2.bddfc
+  broken2.bddfc:2:5: parse error: expected a term, found ')'
   [2]
 
 A command-line usage error shares exit 2:

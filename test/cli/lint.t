@@ -1,0 +1,125 @@
+The lint subcommand: located diagnostics with concrete witnesses.
+Exit contract: 0 clean, 2 on errors (always) or warnings (under
+--deny-warnings); info-level class-membership findings never fail.
+
+Program hygiene.  One predicate at two arities is an error; unsafe head
+variables, existential-declaration mismatches, singleton variables and
+undefined / unreachable predicates are warnings; derived-but-never-read
+predicates are infos.
+
+  $ cat > hygiene.dlg <<'EOF'
+  > p(a).
+  > p(b,c).
+  > e(X,Y) -> exists Z. s(Y,W).
+  > u(X) -> v(X).
+  > ? v(X).
+  > EOF
+  $ bddfc lint hygiene.dlg
+  hygiene.dlg:1:1: info[unused-pred]: predicate p/1 is derived but never read (no rule body or query mentions it); witness: atom p(a)
+  hygiene.dlg:2:1: error[arity-mismatch]: predicate p is used with 2 different arities (1, 2); witness: p/1 first used at 1:1; p/2 at 2:1
+  hygiene.dlg:2:1: info[unused-pred]: predicate p/2 is derived but never read (no rule body or query mentions it); witness: atom p(b,c)
+  hygiene.dlg:3:1: warning[exvar-unused]: declared existential variable Z of rule r24 never occurs in the head; witness: head s(Y,W) of rule r24
+  hygiene.dlg:3:1: warning[singleton-var]: variable X occurs only once in rule r24 (prefix it with '_' if that is intended); witness: e(X,Y) in rule r24
+  hygiene.dlg:3:1: warning[undefined-pred]: predicate e/2 is never derived: no rule head or fact mentions it; witness: atom e(X,Y)
+  hygiene.dlg:3:21: warning[unsafe-head-var]: head variable W of rule r24 is not bound in the body and not declared existential (range restriction); it silently becomes an existential witness — did you mean 'exists W.'?; witness: head atom s(Y,W) of rule r24
+  hygiene.dlg:3:21: info[unused-pred]: predicate s/2 is derived but never read (no rule body or query mentions it); witness: atom s(Y,W)
+  hygiene.dlg:4:1: warning[undefined-pred]: predicate u/1 is never derived: no rule head or fact mentions it; witness: atom u(X)
+  hygiene.dlg:5:3: warning[query-unreachable]: query atom v(X) is unreachable: no chain of rules derives v from the given facts; witness: rule r25 derives v but its body predicate u is itself unreachable
+  hygiene.dlg: 1 error, 6 warnings, 3 infos
+  [2]
+
+Class membership.  Every "no" in the classify report is an info here,
+with the refutation witness: the offender atom, the special-edge cycle
+of the position dependency graph, the sticky-marking trace.
+
+  $ cat > classes.dlg <<'EOF'
+  > e(_X,Y) -> exists Z. e(Y,Z).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(X,Y) -> exists W. t(X,Y,W).
+  > b(X) -> q(X), s(X).
+  > e(a,b).
+  > ? q(X).
+  > EOF
+  $ bddfc lint classes.dlg
+  classes.dlg:1:1: info[ja-cycle]: the theory is not jointly acyclic: the existential-variable dependency graph has a cycle; witness: r24:Z
+  classes.dlg:1:1: info[wa-cycle]: the theory is not weakly acyclic: a special edge of the position dependency graph lies on a cycle (the chase may not terminate); witness: e[2] =(r24:exists Z)=> e[2]
+  classes.dlg:2:1: info[non-guarded]: rule r25 is unguarded: no body atom contains all body variables {X,Y,Z}; witness: best candidate e(X,Y) misses {Z}
+  classes.dlg:2:1: info[non-linear]: the theory is not linear: rule r25 has 2 body atoms; witness: body e(X,Y), e(Y,Z)
+  classes.dlg:2:1: info[not-normalized]: rule r25 breaks the ♠5 discipline: TGP predicate e occurs in a datalog head; witness: datalog rule r25 re-derives e, the head predicate of an existential rule
+  classes.dlg:2:1: info[not-sticky]: the theory is not sticky: marked variable Y occurs 2 times in the body of rule r25; witness: e[2] marked because rule r25 erases Y from its head
+  classes.dlg:3:1: info[non-frontier-one]: outside the frontier-one class (Theorem 3): rule r26 shares 2 variables with its head; witness: frontier {X,Y}
+  classes.dlg:3:1: info[not-normalized]: existential rule r26 is not ♠5-normalized: the head must be binary [R(y,z)], got arity 3; witness: head atom t(X,Y,W)
+  classes.dlg:3:21: info[non-binary]: atom t(X,Y,W) leaves the binary signature (arity 3); witness: t(X,Y,W) in rule r26
+  classes.dlg:3:21: info[unused-pred]: predicate t/3 is derived but never read (no rule body or query mentions it); witness: atom t(X,Y,W)
+  classes.dlg:4:1: warning[undefined-pred]: predicate b/1 is never derived: no rule head or fact mentions it; witness: atom b(X)
+  classes.dlg:4:1: info[multi-head]: rule r27 has 2 head atoms (outside the single-head fragment; normalization splits it); witness: head q(X), s(X)
+  classes.dlg:4:15: info[unused-pred]: predicate s/1 is derived but never read (no rule body or query mentions it); witness: atom s(X)
+  classes.dlg:6:3: warning[query-unreachable]: query atom q(X) is unreachable: no chain of rules derives q from the given facts; witness: rule r27 derives q but its body predicate b is itself unreachable
+  classes.dlg: 0 errors, 2 warnings, 12 infos
+  $ echo $?
+  0
+
+A declared existential that also occurs in the body is a warning (the
+body occurrence wins), and --deny-warnings makes any warning fatal:
+
+  $ cat > exvar.dlg <<'EOF'
+  > r(X,Y) -> exists Y. r(Y,X).
+  > r(a,b).
+  > ? r(X,X).
+  > EOF
+  $ bddfc lint exvar.dlg
+  exvar.dlg:1:1: warning[exvar-in-body]: variable Y of rule r24 is declared existential but also occurs in the body; the body occurrence wins and Y is a frontier variable; witness: body atom r(X,Y) of rule r24
+  exvar.dlg: 0 errors, 1 warning, 0 infos
+  $ echo $?
+  0
+  $ bddfc lint --deny-warnings exvar.dlg > /dev/null
+  [2]
+
+The same diagnostics as machine-readable JSON, one object per line:
+
+  $ bddfc lint --format json hygiene.dlg
+  [{"file":"hygiene.dlg","line":1,"col":1,"severity":"info","code":"unused-pred","message":"predicate p/1 is derived but never read (no rule body or query mentions it)","witness":"atom p(a)"},
+   {"file":"hygiene.dlg","line":2,"col":1,"severity":"error","code":"arity-mismatch","message":"predicate p is used with 2 different arities (1, 2)","witness":"p/1 first used at 1:1; p/2 at 2:1"},
+   {"file":"hygiene.dlg","line":2,"col":1,"severity":"info","code":"unused-pred","message":"predicate p/2 is derived but never read (no rule body or query mentions it)","witness":"atom p(b,c)"},
+   {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"exvar-unused","message":"declared existential variable Z of rule r24 never occurs in the head","witness":"head s(Y,W) of rule r24"},
+   {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"singleton-var","message":"variable X occurs only once in rule r24 (prefix it with '_' if that is intended)","witness":"e(X,Y) in rule r24"},
+   {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate e/2 is never derived: no rule head or fact mentions it","witness":"atom e(X,Y)"},
+   {"file":"hygiene.dlg","line":3,"col":21,"severity":"warning","code":"unsafe-head-var","message":"head variable W of rule r24 is not bound in the body and not declared existential (range restriction); it silently becomes an existential witness — did you mean 'exists W.'?","witness":"head atom s(Y,W) of rule r24"},
+   {"file":"hygiene.dlg","line":3,"col":21,"severity":"info","code":"unused-pred","message":"predicate s/2 is derived but never read (no rule body or query mentions it)","witness":"atom s(Y,W)"},
+   {"file":"hygiene.dlg","line":4,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate u/1 is never derived: no rule head or fact mentions it","witness":"atom u(X)"},
+   {"file":"hygiene.dlg","line":5,"col":3,"severity":"warning","code":"query-unreachable","message":"query atom v(X) is unreachable: no chain of rules derives v from the given facts","witness":"rule r25 derives v but its body predicate u is itself unreachable"}]
+  [2]
+  $ bddfc lint --format json classes.dlg
+  [{"file":"classes.dlg","line":1,"col":1,"severity":"info","code":"ja-cycle","message":"the theory is not jointly acyclic: the existential-variable dependency graph has a cycle","witness":"r24:Z"},
+   {"file":"classes.dlg","line":1,"col":1,"severity":"info","code":"wa-cycle","message":"the theory is not weakly acyclic: a special edge of the position dependency graph lies on a cycle (the chase may not terminate)","witness":"e[2] =(r24:exists Z)=> e[2]"},
+   {"file":"classes.dlg","line":2,"col":1,"severity":"info","code":"non-guarded","message":"rule r25 is unguarded: no body atom contains all body variables {X,Y,Z}","witness":"best candidate e(X,Y) misses {Z}"},
+   {"file":"classes.dlg","line":2,"col":1,"severity":"info","code":"non-linear","message":"the theory is not linear: rule r25 has 2 body atoms","witness":"body e(X,Y), e(Y,Z)"},
+   {"file":"classes.dlg","line":2,"col":1,"severity":"info","code":"not-normalized","message":"rule r25 breaks the ♠5 discipline: TGP predicate e occurs in a datalog head","witness":"datalog rule r25 re-derives e, the head predicate of an existential rule"},
+   {"file":"classes.dlg","line":2,"col":1,"severity":"info","code":"not-sticky","message":"the theory is not sticky: marked variable Y occurs 2 times in the body of rule r25","witness":"e[2] marked because rule r25 erases Y from its head"},
+   {"file":"classes.dlg","line":3,"col":1,"severity":"info","code":"non-frontier-one","message":"outside the frontier-one class (Theorem 3): rule r26 shares 2 variables with its head","witness":"frontier {X,Y}"},
+   {"file":"classes.dlg","line":3,"col":1,"severity":"info","code":"not-normalized","message":"existential rule r26 is not ♠5-normalized: the head must be binary [R(y,z)], got arity 3","witness":"head atom t(X,Y,W)"},
+   {"file":"classes.dlg","line":3,"col":21,"severity":"info","code":"non-binary","message":"atom t(X,Y,W) leaves the binary signature (arity 3)","witness":"t(X,Y,W) in rule r26"},
+   {"file":"classes.dlg","line":3,"col":21,"severity":"info","code":"unused-pred","message":"predicate t/3 is derived but never read (no rule body or query mentions it)","witness":"atom t(X,Y,W)"},
+   {"file":"classes.dlg","line":4,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate b/1 is never derived: no rule head or fact mentions it","witness":"atom b(X)"},
+   {"file":"classes.dlg","line":4,"col":1,"severity":"info","code":"multi-head","message":"rule r27 has 2 head atoms (outside the single-head fragment; normalization splits it)","witness":"head q(X), s(X)"},
+   {"file":"classes.dlg","line":4,"col":15,"severity":"info","code":"unused-pred","message":"predicate s/1 is derived but never read (no rule body or query mentions it)","witness":"atom s(X)"},
+   {"file":"classes.dlg","line":6,"col":3,"severity":"warning","code":"query-unreachable","message":"query atom q(X) is unreachable: no chain of rules derives q from the given facts","witness":"rule r27 derives q but its body predicate b is itself unreachable"}]
+  $ echo $?
+  0
+
+A clean program stays clean (underscore prefix opts a genuinely
+singleton variable out of the lint), and --deny-warnings does not deny
+info-level findings:
+
+  $ cat > clean.dlg <<'EOF'
+  > person(X) -> exists Y. knows(X,Y).
+  > knows(_X,Y) -> person(Y).
+  > person(alice).
+  > ? knows(alice,Y).
+  > EOF
+  $ bddfc lint --deny-warnings clean.dlg
+  clean.dlg:1:1: info[ja-cycle]: the theory is not jointly acyclic: the existential-variable dependency graph has a cycle; witness: r24:Y
+  clean.dlg:1:1: info[wa-cycle]: the theory is not weakly acyclic: a special edge of the position dependency graph lies on a cycle (the chase may not terminate); witness: person[1] =(r24:exists Y)=> knows[2]; knows[2] -(r25:Y)-> person[1]
+  clean.dlg: 0 errors, 0 warnings, 2 infos
+  $ echo $?
+  0

@@ -1,0 +1,43 @@
+The acyclicity pre-flight: a weakly (or jointly) acyclic theory has a
+terminating chase, so the pipeline runs it fuel-free (deadline only) and
+returns a definite verdict where fuel budgets alone would truncate to
+"unknown".
+
+Under a starvation-level fuel budget the weakly-acyclic zoo entry is
+still decided definitely — the pre-flight proof bypasses the fuel:
+
+  $ bddfc zoo weakly_acyclic --fuel 2 | tail -n 1
+  pipeline: model with 2 elements (verified true)
+
+The same budget with the pre-flight ablated is an honest unknown, exit 4:
+
+  $ bddfc zoo weakly_acyclic --fuel 2 --no-preflight > /dev/null
+  [4]
+
+The upgrade also reaches file-based workloads through model and judge:
+
+  $ cat > wa.dlg <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(_X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc model --fuel 2 wa.dlg
+  the query is certain (chase depth 3): no countermodel exists
+  [3]
+  $ bddfc model --fuel 2 --no-preflight wa.dlg > /dev/null
+  [4]
+
+A non-acyclic theory is unaffected: the pre-flight proves nothing, the
+truncated schedule runs as before and fuel exhaustion stays unknown:
+
+  $ cat > cyclic.dlg <<'EOF'
+  > e(_X,Y) -> exists Z. e(Y,Z).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(a,b).
+  > ? u(X,Y).
+  > EOF
+  $ bddfc model --fuel 4 cyclic.dlg > /dev/null
+  [4]
+  $ bddfc model --fuel 4 --no-preflight cyclic.dlg > /dev/null
+  [4]

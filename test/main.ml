@@ -8,6 +8,7 @@ let () =
       Test_ptp.suite;
       Test_finitemodel.suite;
       Test_classes.suite;
+      Test_analysis.suite;
       Test_properties.suite;
       Test_integration.suite;
       Test_extensions.suite;
