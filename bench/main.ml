@@ -20,9 +20,15 @@ let governor : Budget.t option ref = ref None
 
 (* --strategy restricts EX-14's timing rows to one evaluation strategy
    (for profiling); --strategy-smoke runs only the naive/semi-naive
-   agreement check and exits nonzero on divergence (wired into CI). *)
+   agreement check and exits nonzero on divergence (wired into CI).
+   --obs-smoke runs only the observability smoke: tracing must be
+   semantically inert and the disabled path free of measurable overhead.
+   --metrics-out writes the final metrics-registry snapshot as a
+   BENCH_*.json-compatible blob (flat {name, value, unit} samples). *)
 let strategy_filter : Chase.Chase.strategy option ref = ref None
 let smoke_only = ref false
+let obs_smoke_only = ref false
+let metrics_out = ref ""
 
 let parse_args () =
   let timeout = ref nan in
@@ -43,9 +49,15 @@ let parse_args () =
        " restrict EX-14 timing to one chase evaluation strategy");
       ("--strategy-smoke", Arg.Set smoke_only,
        " run only the naive/semi-naive agreement smoke; exit 1 on \
-        divergence") ]
+        divergence");
+      ("--obs-smoke", Arg.Set obs_smoke_only,
+       " run only the observability smoke (tracing inertness + disabled \
+        overhead); exit 1 on divergence");
+      ("--metrics-out", Arg.Set_string metrics_out,
+       "FILE write the final metrics snapshot as a BENCH json blob") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke]";
+    "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
+     [--obs-smoke] [--metrics-out FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -54,6 +66,15 @@ let parse_args () =
       Some
         (Budget.v ?deadline_s ?rounds:fuel ?elements:fuel ?facts:fuel
            ?rewrite_steps:fuel ?refine_steps:fuel ?nodes:fuel ())
+
+let write_metrics_blob () =
+  if !metrics_out <> "" then begin
+    let oc = open_out !metrics_out in
+    output_string oc (Obs.Metrics.to_bench_json (Obs.Metrics.snapshot ()));
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "wrote metrics blob to %s@." !metrics_out
+  end
 
 let header title =
   Fmt.pr "@.================================================================@.";
@@ -584,6 +605,119 @@ let ex14_strategies () =
         strategies)
     (ex14_workloads ())
 
+(* ------------------------------------------------------------------ *)
+(* EX-16: per-entry chase telemetry from the metrics registry           *)
+(* ------------------------------------------------------------------ *)
+
+(* What the CLI's --metrics flag shows per invocation, as a table: the
+   registry counter deltas around one bounded chase per zoo entry.  The
+   rows double as a profile of where join work concentrates. *)
+let ex16_metrics_profile () =
+  header "EX-16: chase telemetry per zoo entry (registry counter deltas)";
+  Fmt.pr "%-16s %-8s %-8s %-8s %-12s %s@." "entry" "rounds" "facts" "nulls"
+    "probes" "outcome";
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let db = Zoo.database_instance e in
+      let before = Obs.Metrics.snapshot () in
+      let r =
+        Chase.Chase.run ?budget:!governor ~max_rounds:10 ~max_elements:4000
+          e.Zoo.theory db
+      in
+      let after = Obs.Metrics.snapshot () in
+      let delta = Obs.Metrics.ints_delta ~before ~after in
+      let get k = Option.value (List.assoc_opt k delta) ~default:0 in
+      Fmt.pr "%-16s %-8d %-8d %-8d %-12d %a@." e.Zoo.name
+        (get "chase.rounds") (get "chase.facts_added")
+        (get "chase.nulls_invented") (get "eval.join_probes")
+        Chase.Chase.pp_outcome r.Chase.Chase.outcome)
+    Zoo.all
+
+(* The observability CI smoke.  Two claims, both load-bearing for the
+   instrumentation layer:
+
+     1. semantic inertness — running the same chase with the trace
+        collector installed and with tracing off yields identical results
+        and identical registry counter deltas (timers excluded: they are
+        wall-clock), and the traced run actually captured per-round
+        events;
+     2. the disabled path is cheap — a branch per instrumentation point,
+        no allocation — so tracing-off wall time stays within noise of
+        itself run-to-run; the on/off ratio is printed for inspection but
+        only inertness fails the smoke (timing assertions flake in CI).
+
+   The runs deliberately bypass the --fuel governor: shared fuel pools
+   drain across runs and would make the comparison diverge for reasons
+   that have nothing to do with tracing. *)
+let obs_smoke () =
+  header "obs smoke: tracing on/off inertness + disabled-path overhead";
+  let failures = ref 0 in
+  let run_of mode theory db () =
+    match mode with
+    | `Saturate -> Chase.Chase.saturate_datalog theory db
+    | `Rounds k -> Chase.Chase.run ~max_rounds:k theory db
+  in
+  let fingerprint r =
+    ( r.Chase.Chase.rounds,
+      I.num_facts r.Chase.Chase.instance,
+      I.num_elements r.Chase.Chase.instance,
+      r.Chase.Chase.new_facts_per_round )
+  in
+  let observe run =
+    let before = Obs.Metrics.snapshot () in
+    let r = run () in
+    let after = Obs.Metrics.snapshot () in
+    (fingerprint r, Obs.Metrics.ints_delta ~before ~after)
+  in
+  Fmt.pr "%-16s %-8s %-10s %s@." "workload" "verdict" "counters"
+    "round events";
+  List.iter
+    (fun (name, theory, db, mode) ->
+      let run = run_of mode theory db in
+      Obs.Trace.set_sink None;
+      let fp_off, delta_off = observe run in
+      let c = Obs.Trace.install_collector () in
+      let fp_on, delta_on = observe run in
+      Obs.Trace.set_sink None;
+      let events =
+        Obs.Trace.find_events (Obs.Trace.root c) "chase.round"
+      in
+      let ok = fp_off = fp_on && delta_off = delta_on && events <> [] in
+      if not ok then incr failures;
+      Fmt.pr "%-16s %-8s %-10d %d@." name
+        (if ok then "inert" else "DIVERGED")
+        (List.length delta_on) (List.length events))
+    (ex14_workloads ());
+  let tc = Logic.Parser.parse_theory "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let db = Gen.chain ~len:60 () in
+  let sat () = ignore (Chase.Chase.saturate_datalog tc db) in
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  sat ();
+  (* warm-up *)
+  Obs.Trace.set_sink None;
+  let off = best_of 5 sat in
+  ignore (Obs.Trace.install_collector ());
+  let on = best_of 5 sat in
+  Obs.Trace.set_sink None;
+  Fmt.pr "tc/chain60 saturation: disabled %.4fs, collector %.4fs (x%.2f)@."
+    off on (on /. off);
+  if !failures = 0 then begin
+    Fmt.pr "obs smoke: tracing is semantically inert@.";
+    0
+  end
+  else begin
+    Fmt.pr "obs smoke: %d workload(s) DIVERGED under tracing@." !failures;
+    1
+  end
+
 (* EX-15: the analyzer over the zoo (diagnostic counts per entry) and the
    acyclicity pre-flight's verdict upgrades.  Every entry runs twice
    under a starvation fuel budget (every counter at 2): once with the
@@ -688,6 +822,11 @@ let strategy_smoke () =
 let () =
   parse_args ();
   if !smoke_only then exit (strategy_smoke ());
+  if !obs_smoke_only then begin
+    let code = obs_smoke () in
+    write_metrics_blob ();
+    exit code
+  end;
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();
@@ -703,5 +842,7 @@ let () =
   ablations ();
   ex14_strategies ();
   ex15_analysis ();
+  ex16_metrics_profile ();
   micro ();
+  write_metrics_blob ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -24,7 +24,12 @@
    Every command accepts --timeout/--fuel: one governor is threaded
    through all engines, and exhaustion degrades to the "unknown" exit
    code rather than hanging or crashing.  --fuel-trap injects a
-   deterministic forced exhaustion after N budget charges (testing). *)
+   deterministic forced exhaustion after N budget charges (testing).
+
+   Every command also accepts --metrics[=json|text] / --metrics-out FILE
+   (dump the process-wide metrics registry on exit) and --trace FILE
+   (enable span tracing, write the JSON span tree on exit).  The dumps
+   never change a command's output on stdout or its exit code. *)
 
 open Bddfc
 open Cmdliner
@@ -160,6 +165,98 @@ let no_preflight_term =
               guaranteed fixpoint, upgrading budget-truncated unknowns \
               to definite verdicts.")
 
+(* -------------------------- observability ------------------------- *)
+
+(* Every subcommand accepts --metrics[=FORMAT], --metrics-out FILE and
+   --trace FILE; [with_obs] wraps the command body so the dumps happen
+   after it returns (or raises) and include everything the run charged.
+   Dump I/O failures warn on stderr without disturbing the command's
+   exit code — observability never changes the scripting contract. *)
+type obs_opts = {
+  metrics : [ `Json | `Text ] option;
+  metrics_out : string option;
+  trace_out : string option;
+}
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value
+      & opt
+          ~vopt:(Some `Text)
+          (some (enum [ ("text", `Text); ("json", `Json) ]))
+          None
+      & info [ "metrics" ] ~docv:"FORMAT"
+          ~doc:"Dump a metrics-registry snapshot on exit: $(b,text) (the \
+                default when the flag is given bare) or $(b,json).  The \
+                snapshot goes to stderr unless $(b,--metrics-out) gives a \
+                file.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics snapshot to $(docv) instead of stderr \
+                (implies $(b,--metrics); JSON unless --metrics says \
+                otherwise).")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Enable span tracing and write the JSON span tree to \
+                $(docv) on exit.  Tracing is off (and costs one branch \
+                per instrumentation point) without this flag.")
+  in
+  let make metrics metrics_out trace_out = { metrics; metrics_out; trace_out } in
+  Term.(const make $ metrics $ metrics_out $ trace_out)
+
+let wall_timer = Obs.Metrics.timer "cli.wall"
+
+let write_file_warn ~flag path s =
+  try
+    let oc = open_out path in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc
+  with Sys_error msg -> Fmt.epr "bddfc: %s: %s@." flag msg
+
+let with_obs ~cmd obs k =
+  let collector =
+    match obs.trace_out with
+    | None -> None
+    | Some _ -> Some (Obs.Trace.install_collector ())
+  in
+  let dump () =
+    Obs.Trace.set_sink None;
+    (match (obs.trace_out, collector) with
+    | Some path, Some c ->
+        write_file_warn ~flag:"--trace" path
+          (Obs.Trace.span_to_json (Obs.Trace.root c))
+    | _ -> ());
+    let format =
+      match (obs.metrics, obs.metrics_out) with
+      | Some f, _ -> Some f
+      | None, Some _ -> Some `Json
+      | None, None -> None
+    in
+    match format with
+    | None -> ()
+    | Some f ->
+        let snap = Obs.Metrics.snapshot () in
+        let body =
+          match f with
+          | `Json -> Obs.Metrics.to_json snap
+          | `Text -> Fmt.str "%a" Obs.Metrics.pp_text snap
+        in
+        (match obs.metrics_out with
+        | None -> Fmt.epr "%s@." body
+        | Some path -> write_file_warn ~flag:"--metrics-out" path body)
+  in
+  Fun.protect ~finally:dump @@ fun () ->
+  Obs.Metrics.time wall_timer @@ fun () ->
+  Obs.Trace.span ("cli." ^ cmd) k
+
 (* ----------------------------- chase ----------------------------- *)
 
 let chase_cmd =
@@ -174,8 +271,9 @@ let chase_cmd =
           Chase.Chase.Restricted
       & info [ "variant" ] ~doc:"Chase variant: restricted or oblivious.")
   in
-  let run file rounds variant strategy budget verbose =
+  let run file rounds variant strategy budget obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"chase" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
     let r =
       Chase.Chase.run ~variant ~strategy ?budget ~max_rounds:rounds theory db
@@ -198,7 +296,7 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file." ~exits)
     Term.(
       const run $ file_arg $ rounds $ variant $ strategy_term $ budget_term
-      $ verbose_arg)
+      $ obs_term $ verbose_arg)
 
 (* ---------------------------- rewrite ---------------------------- *)
 
@@ -206,8 +304,9 @@ let rewrite_cmd =
   let max_disjuncts =
     Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
   in
-  let run file max_disjuncts (_ : Chase.Chase.strategy) budget verbose =
+  let run file max_disjuncts (_ : Chase.Chase.strategy) budget obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"rewrite" obs @@ fun () ->
     with_program file @@ fun (theory, _, queries, _) ->
     if queries = [] then Fmt.epr "no queries in %s@." file;
     let all_complete = ref true in
@@ -227,13 +326,14 @@ let rewrite_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ max_disjuncts $ strategy_term $ budget_term
-      $ verbose_arg)
+      $ obs_term $ verbose_arg)
 
 (* ---------------------------- classify --------------------------- *)
 
 let classify_cmd =
-  let run file (_ : Chase.Chase.strategy) budget verbose =
+  let run file (_ : Chase.Chase.strategy) budget obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"classify" obs @@ fun () ->
     with_program file @@ fun (theory, _, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
     let k =
@@ -244,7 +344,9 @@ let classify_cmd =
     exit_ok
   in
   Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
-    Term.(const run $ file_arg $ strategy_term $ budget_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ strategy_term $ budget_term $ obs_term
+      $ verbose_arg)
 
 (* ------------------------------ lint ------------------------------ *)
 
@@ -266,8 +368,9 @@ let lint_cmd =
                 when any warning (or error) is reported.  Info-level \
                 class-membership diagnostics never fail the lint.")
   in
-  let run file format deny verbose =
+  let run file format deny obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"lint" obs @@ fun () ->
     with_program file @@ fun (_, _, _, program) ->
     let diags = Analysis.Analyzer.analyze_program program in
     let counts = Analysis.Diagnostic.count diags in
@@ -291,7 +394,7 @@ let lint_cmd =
           carrying a concrete witness (offending atom, dependency cycle, \
           sticky-marking trace)."
        ~exits)
-    Term.(const run $ file_arg $ format $ deny $ verbose_arg)
+    Term.(const run $ file_arg $ format $ deny $ obs_term $ verbose_arg)
 
 (* ----------------------------- model ----------------------------- *)
 
@@ -299,8 +402,9 @@ let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth strategy budget no_preflight verbose =
+  let run file depth strategy budget no_preflight obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"model" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
     match queries with
     | [] ->
@@ -345,13 +449,14 @@ let model_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ depth $ strategy_term $ budget_term
-      $ no_preflight_term $ verbose_arg)
+      $ no_preflight_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file strategy budget no_preflight verbose =
+  let run file strategy budget no_preflight obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"judge" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
     match queries with
     | [] ->
@@ -387,7 +492,7 @@ let judge_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ strategy_term $ budget_term $ no_preflight_term
-      $ verbose_arg)
+      $ obs_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -399,8 +504,9 @@ let dot_cmd =
   let rounds =
     Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Chase rounds before export.")
   in
-  let run file out rounds strategy budget verbose =
+  let run file out rounds strategy budget obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"dot" obs @@ fun () ->
     with_program file @@ fun (theory, db, _, _) ->
     let r = Chase.Chase.run ~strategy ?budget ~max_rounds:rounds theory db in
     let dot = Structure.Dot.to_string r.Chase.Chase.instance in
@@ -416,7 +522,7 @@ let dot_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ out $ rounds $ strategy_term $ budget_term
-      $ verbose_arg)
+      $ obs_term $ verbose_arg)
 
 (* ------------------------------ zoo ------------------------------ *)
 
@@ -430,8 +536,9 @@ let zoo_cmd =
            ~doc:"Print the entry as a parseable program and exit; feed the \
                  result back through $(b,bddfc lint) or $(b,bddfc model).")
   in
-  let run name dump strategy budget no_preflight verbose =
+  let run name dump strategy budget no_preflight obs verbose =
     setup_logs verbose;
+    with_obs ~cmd:"zoo" obs @@ fun () ->
     match name with
     | None ->
         List.iter
@@ -486,7 +593,7 @@ let zoo_cmd =
   Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
     Term.(
       const run $ entry_name $ dump $ strategy_term $ budget_term
-      $ no_preflight_term $ verbose_arg)
+      $ no_preflight_term $ obs_term $ verbose_arg)
 
 let main =
   let info =

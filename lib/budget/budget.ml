@@ -30,6 +30,14 @@ let resource_name = function
 
 let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
 
+(* Every exhaustion — fuel, deadline or injected trap — goes through
+   [trip]: the registry counts it and, under tracing, a structured
+   [budget.tripped] event names the resource that fired before the
+   exception unwinds to the engine boundary. *)
+module Obs = Bddfc_obs.Obs
+
+let m_tripped = Obs.Metrics.counter "budget.tripped_total"
+
 type t = {
   deadline : float option; (* absolute, Unix.gettimeofday *)
   trap : int ref option; (* remaining charge points before forced trip *)
@@ -42,6 +50,12 @@ type t = {
 }
 
 exception Exhausted of resource
+
+let trip r =
+  Obs.Metrics.incr m_tripped;
+  if Obs.Trace.enabled () then
+    Obs.Trace.event "budget.tripped" [ ("resource", Obs.Str (resource_name r)) ];
+  raise (Exhausted r)
 
 let unlimited =
   {
@@ -121,12 +135,12 @@ let counter t = function
    fuel pool. *)
 let tick_trap t r =
   match t.trap with
-  | Some n -> if !n <= 0 then raise (Exhausted r) else decr n
+  | Some n -> if !n <= 0 then trip r else decr n
   | None -> ()
 
 let tick_deadline t =
   match t.deadline with
-  | Some d when now () > d -> raise (Exhausted Deadline)
+  | Some d when now () > d -> trip Deadline
   | _ -> ()
 
 let check_deadline t =
@@ -141,7 +155,7 @@ let charge t r n =
   | Some f ->
       if !f < n then begin
         f := 0;
-        raise (Exhausted r)
+        trip r
       end
       else f := !f - n
 

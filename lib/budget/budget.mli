@@ -16,7 +16,13 @@
     pipeline splits its remaining wall-clock across retries.
     {!with_fuel_trap} is deterministic fault injection: it forces
     exhaustion after a fixed number of charge points, independent of the
-    clock, so every exhaustion path can be exercised in tests. *)
+    clock, so every exhaustion path can be exercised in tests.
+
+    Observability: every exhaustion increments the registry counter
+    [budget.tripped_total] and, when tracing is enabled, emits a
+    structured [budget.tripped] event naming the resource that fired —
+    in addition to the [Exhausted] exception engines already turn into
+    [tripped] outcomes. *)
 
 type resource =
   | Deadline (** wall-clock *)

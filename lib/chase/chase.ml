@@ -79,6 +79,24 @@ let src = Logs.Src.create "bddfc.chase" ~doc:"Chase engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Registry handles, resolved once at module initialisation: the hot
+   paths below touch them as plain record mutations.  Counters are
+   always on; per-round [chase.round] events (and the attribute lists
+   they allocate) are built only when a trace sink is installed, so the
+   disabled path costs one branch. *)
+module Obs = Bddfc_obs.Obs
+
+let m_runs = Obs.Metrics.counter "chase.runs"
+let m_rounds = Obs.Metrics.counter "chase.rounds"
+let m_facts = Obs.Metrics.counter "chase.facts_added"
+let m_nulls = Obs.Metrics.counter "chase.nulls_invented"
+let t_run = Obs.Metrics.timer "chase.run"
+
+let outcome_tag = function
+  | Fixpoint -> "fixpoint"
+  | Watched -> "watched"
+  | Exhausted r -> "exhausted:" ^ Budget.resource_name r
+
 (* Instantiate an atom under a variable binding, creating terms for
    existential variables via [fresh].  Returns the fact. *)
 let instantiate inst binding fresh atom =
@@ -120,7 +138,11 @@ let demand_key rule binding =
   in
   String.concat "&" (List.map render_atom (Rule.head rule))
 
-type round_stats = { fired_datalog : int; fired_existential : int }
+type round_stats = {
+  fired_datalog : int;
+  fired_existential : int;
+  nulls : int; (* labelled nulls invented this round *)
+}
 
 (* One simultaneous chase round on [inst].  Returns the number of facts
    added.  Body evaluation and witness checks read the state at the start
@@ -137,11 +159,13 @@ let round ?(variant = Restricted) ?(strategy = Seminaive)
     | Naive -> (Instance.copy inst, None)
     | Seminaive -> (inst, Some round_no)
   in
+  Obs.Metrics.incr m_rounds;
   let added = ref 0 in
-  let stats = ref { fired_datalog = 0; fired_existential = 0 } in
+  let stats = ref { fired_datalog = 0; fired_existential = 0; nulls = 0 } in
   let add f =
     if Instance.add_fact ~birth:round_no inst f then begin
       incr added;
+      Obs.Metrics.incr m_facts;
       Budget.charge budget Budget.Facts 1;
       true
     end
@@ -228,6 +252,8 @@ let round ?(variant = Restricted) ?(strategy = Seminaive)
                         Instance.fresh_null inst ~birth:round_no
                           ~rule:(Rule.name rule) ~parent
                       in
+                      Obs.Metrics.incr m_nulls;
+                      stats := { !stats with nulls = !stats.nulls + 1 };
                       Hashtbl.replace fresh_cache x id;
                       id
                 in
@@ -260,10 +286,20 @@ let effective_budget ?budget ?max_rounds ?max_elements () =
         ~elements:(Option.value max_elements ~default:default_elements)
         ()
 
+let strategy_tag = function Naive -> "naive" | Seminaive -> "seminaive"
+let variant_tag = function Restricted -> "restricted" | Oblivious -> "oblivious"
+
 let run ?(variant = Restricted) ?(strategy = Seminaive)
     ?(datalog_only = false) ?watch ?budget ?max_rounds ?max_elements theory
     base =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.time t_run @@ fun () ->
+  Obs.Trace.span "chase.run" @@ fun () ->
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.attr "strategy" (Obs.Str (strategy_tag strategy));
+    Obs.Trace.attr "variant" (Obs.Str (variant_tag variant))
+  end;
   let inst = Instance.copy base in
   (* the working copy starts a fresh round numbering: stale birth stamps
      (e.g. when re-chasing a previously chased instance) would corrupt
@@ -285,10 +321,13 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
              true
            end
   in
-  let rec go i =
+  (* [frontier] is the previous round's delta size (the base instance for
+     round 1): what the semi-naive windows feed into the round's joins. *)
+  let rec go i frontier =
     Budget.check_deadline budget;
     Budget.charge budget Budget.Rounds 1;
-    let added, _ =
+    let probes0 = Eval.probe_count () in
+    let added, stats =
       round ~variant ~strategy ~datalog_only
         ?fired:(if variant = Oblivious then Some fired else None)
         ~budget ~round_no:(i + 1) theory inst
@@ -296,6 +335,17 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
     per_round := added :: !per_round;
     rounds := i + 1;
     Log.debug (fun m -> m "round %d: %d new facts" (i + 1) added);
+    if Obs.Trace.enabled () then
+      Obs.Trace.event "chase.round"
+        (("round", Obs.Int (i + 1))
+        :: ("frontier", Obs.Int frontier)
+        :: ("facts_added", Obs.Int added)
+        :: ("nulls_invented", Obs.Int stats.nulls)
+        :: ("join_probes", Obs.Int (Eval.probe_count () - probes0))
+        ::
+        (match Budget.remaining_fuel budget Budget.Rounds with
+        | Some n -> [ ("fuel_rounds", Obs.Int n) ]
+        | None -> []));
     if watch_hit (i + 1) then Watched
     else if added = 0 then begin
       (* the empty round is not counted: [rounds] is the number of
@@ -303,12 +353,16 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
       rounds := i;
       Fixpoint
     end
-    else go (i + 1)
+    else go (i + 1) added
   in
   let outcome =
-    try if watch_hit 0 then Watched else go 0
+    try if watch_hit 0 then Watched else go 0 (List.length base_facts)
     with Budget.Exhausted r -> Exhausted r
   in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.attr "rounds" (Obs.Int !rounds);
+    Obs.Trace.attr "outcome" (Obs.Str (outcome_tag outcome))
+  end;
   {
     instance = inst;
     rounds = !rounds;
@@ -324,6 +378,8 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
    the ceiling exists only as the no-governor default, like the other
    entry points).  Element fuel always applies — never unbounded. *)
 let run_depth ?(variant = Restricted) ?strategy ?budget ~depth theory base =
+  Obs.Trace.span "chase.run_depth" @@ fun () ->
+  if Obs.Trace.enabled () then Obs.Trace.attr "depth" (Obs.Int depth);
   match budget with
   | Some _ -> run ~variant ?strategy ?budget ~max_rounds:depth theory base
   | None ->
@@ -334,6 +390,7 @@ let run_depth ?(variant = Restricted) ?strategy ?budget ~depth theory base =
    instance this always terminates (no new elements are created) unless
    the governor's deadline trips first. *)
 let saturate_datalog ?strategy ?budget ?(max_rounds = 10_000) theory base =
+  Obs.Trace.span "chase.saturate_datalog" @@ fun () ->
   run ~datalog_only:true ?strategy ?budget ~max_rounds theory base
 
 (* Certain answering by chase: does Chase(D, T) |= q, and at which depth?
@@ -346,6 +403,7 @@ type certainty =
 
 let certain ?strategy ?budget ?max_rounds ?max_elements theory base q =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
+  Obs.Trace.span "chase.certain" @@ fun () ->
   let inst = Instance.copy base in
   Instance.reset_fact_births inst;
   let rounds = ref 0 in
@@ -355,8 +413,19 @@ let certain ?strategy ?budget ?max_rounds ?max_elements theory base q =
       let rec go i =
         Budget.check_deadline budget;
         Budget.charge budget Budget.Rounds 1;
-        let added, _ = round ?strategy ~budget ~round_no:(i + 1) theory inst in
+        let probes0 = Eval.probe_count () in
+        let added, stats =
+          round ?strategy ~budget ~round_no:(i + 1) theory inst
+        in
         rounds := i + 1;
+        if Obs.Trace.enabled () then
+          Obs.Trace.event "chase.round"
+            [
+              ("round", Obs.Int (i + 1));
+              ("facts_added", Obs.Int added);
+              ("nulls_invented", Obs.Int stats.nulls);
+              ("join_probes", Obs.Int (Eval.probe_count () - probes0));
+            ];
         if Eval.holds inst q then Entailed (i + 1)
         else if added = 0 then Not_entailed
         else go (i + 1)

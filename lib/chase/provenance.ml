@@ -55,6 +55,17 @@ let body_facts inst binding atoms =
       Fact.make (Atom.pred a) (Array.of_list ids))
     atoms
 
+(* The replay reports through the same registry names as the engine
+   ([chase.rounds] / [chase.facts_added] / [chase.nulls_invented] under a
+   [provenance.run] span), so a metrics snapshot sums engine runs and
+   replays alike. *)
+module Obs = Bddfc_obs.Obs
+
+let m_rounds = Obs.Metrics.counter "chase.rounds"
+let m_facts = Obs.Metrics.counter "chase.facts_added"
+let m_nulls = Obs.Metrics.counter "chase.nulls_invented"
+let m_replays = Obs.Metrics.counter "provenance.replays"
+
 let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
     theory base =
   let budget =
@@ -66,6 +77,8 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
           ~elements:(Option.value max_elements ~default:100_000)
           ()
   in
+  Obs.Metrics.incr m_replays;
+  Obs.Trace.span "provenance.run" @@ fun () ->
   let inst = Instance.copy base in
   Instance.reset_fact_births inst;
   let reasons : reason Fact.Table.t = Fact.Table.create 256 in
@@ -84,6 +97,8 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
   let rec go i =
       Budget.check_deadline budget;
       Budget.charge budget Budget.Rounds 1;
+      Obs.Metrics.incr m_rounds;
+      let probes0 = Eval.probe_count () in
       let round_no = i + 1 in
       (* the state this round's bodies and witness checks see: a copied
          snapshot (Naive) or the committed prefix of the live instance
@@ -115,6 +130,7 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
                     in
                     if Instance.add_fact ~birth:round_no inst f then begin
                       incr added;
+                      Obs.Metrics.incr m_facts;
                       record round_no rule binding f
                     end)
                   (Rule.head rule)
@@ -145,6 +161,7 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
                           Instance.fresh_null inst ~birth:round_no
                             ~rule:(Rule.name rule) ~parent:None
                         in
+                        Obs.Metrics.incr m_nulls;
                         Hashtbl.replace fresh_cache _x id;
                         id
                   in
@@ -153,12 +170,20 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
                       let f = Chase.instantiate inst binding fresh head_atom in
                       if Instance.add_fact ~birth:round_no inst f then begin
                         incr added;
+                        Obs.Metrics.incr m_facts;
                         record round_no rule binding f
                       end)
                     (Rule.head rule)
                 end
               end))
         (Theory.rules theory);
+      if Obs.Trace.enabled () then
+        Obs.Trace.event "chase.round"
+          [
+            ("round", Obs.Int round_no);
+            ("facts_added", Obs.Int !added);
+            ("join_probes", Obs.Int (Eval.probe_count () - probes0));
+          ];
       if !added = 0 then (i, true)
       else begin
         rounds_done := round_no;

@@ -10,6 +10,7 @@
       | _ -> ...
     ]} *)
 
+module Obs = Bddfc_obs.Obs
 module Budget = Bddfc_budget.Budget
 module Logic = Bddfc_logic
 module Structure = Bddfc_structure

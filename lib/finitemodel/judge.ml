@@ -52,7 +52,17 @@ let default_budget =
     exhaustive_candidates = 22;
   }
 
+(* Registry handle (always on); the span only when a trace sink is
+   installed. *)
+module Obs = Bddfc_obs.Obs
+
+let m_judgements = Obs.Metrics.counter "judge.judgements"
+let t_judge = Obs.Metrics.timer "judge.run"
+
 let judge ?(budget = default_budget) theory db query =
+  Obs.Metrics.incr m_judgements;
+  Obs.Metrics.time t_judge @@ fun () ->
+  Obs.Trace.span "judge.run" @@ fun () ->
   let governor = budget.pipeline_params.Pipeline.budget in
   let classes = Classes.Recognize.report theory in
   let kappa =

@@ -29,6 +29,15 @@ type search_result =
   | Exhausted (* full search space explored: no model within bounds *)
   | Budget_out of { tripped : Budget.resource; nodes : int }
 
+(* Registry handles (always on); spans only when a trace sink is
+   installed.  [naive.nodes] counts DFS nodes of [search] and enumeration
+   masks of [exhaustive_absence] alike: units of countermodel work. *)
+module Obs = Bddfc_obs.Obs
+
+let m_nodes = Obs.Metrics.counter "naive.nodes"
+let m_searches = Obs.Metrics.counter "naive.searches"
+let t_search = Obs.Metrics.timer "naive.search"
+
 type search_params = {
   max_size : int; (* total element budget *)
   max_nodes : int; (* DFS node budget *)
@@ -72,6 +81,9 @@ let search ?budget ?strategy ?(params = default_search_params) theory db
     | Some b -> Budget.cap ~nodes:params.max_nodes b
     | None -> Budget.v ~nodes:params.max_nodes ()
   in
+  Obs.Metrics.incr m_searches;
+  Obs.Metrics.time t_search @@ fun () ->
+  Obs.Trace.span "naive.search" @@ fun () ->
   let nodes = ref 0 in
   let complete = ref true in
   (* structural caps hit along the way, reported as the tripped resource
@@ -80,6 +92,7 @@ let search ?budget ?strategy ?(params = default_search_params) theory db
   let note r = if !limited = None then limited := Some r in
   let rec explore inst =
     incr nodes;
+    Obs.Metrics.incr m_nodes;
     Budget.check_deadline budget;
     Budget.charge budget Budget.Nodes 1;
     let sat = Chase.saturate_datalog ?strategy ~budget theory inst in
@@ -149,17 +162,26 @@ let search ?budget ?strategy ?(params = default_search_params) theory db
             complete := false
           end
   in
-  match explore (Instance.copy db) with
-  | () ->
-      if !complete then Exhausted
-      else
-        Budget_out
-          {
-            tripped = Option.value !limited ~default:Budget.Nodes;
-            nodes = !nodes;
-          }
-  | exception Got_model m -> Found m
-  | exception Budget.Exhausted r -> Budget_out { tripped = r; nodes = !nodes }
+  let result =
+    match explore (Instance.copy db) with
+    | () ->
+        if !complete then Exhausted
+        else
+          Budget_out
+            {
+              tripped = Option.value !limited ~default:Budget.Nodes;
+              nodes = !nodes;
+            }
+    | exception Got_model m -> Found m
+    | exception Budget.Exhausted r ->
+        Budget_out { tripped = r; nodes = !nodes }
+  in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.attr "nodes" (Obs.Int !nodes);
+    Obs.Trace.attr "found"
+      (Obs.Bool (match result with Found _ -> true | _ -> false))
+  end;
+  result
 
 (* ----------------------------------------------------------------- *)
 (* Exhaustive enumeration                                             *)
@@ -184,6 +206,7 @@ let rec tuples elements k =
 let exhaustive_absence ?budget ?(max_candidates = 24) ~max_extra theory db
     query =
   let budget = Option.value budget ~default:Budget.unlimited in
+  Obs.Trace.span "naive.exhaustive_absence" @@ fun () ->
   let base = Instance.copy db in
   for i = 1 to max_extra do
     ignore (Instance.fresh_null base ~birth:0 ~rule:"extra" ~parent:None);
@@ -211,6 +234,7 @@ let exhaustive_absence ?budget ?(max_candidates = 24) ~max_extra theory db
     let result = ref No_model in
     (try
        for mask = 0 to total - 1 do
+         Obs.Metrics.incr m_nodes;
          Budget.check_deadline budget;
          Budget.charge budget Budget.Nodes 1;
          let inst = Instance.copy base in

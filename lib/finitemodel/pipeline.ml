@@ -106,6 +106,16 @@ let src = Logs.Src.create "bddfc.pipeline" ~doc:"Theorem 2 pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Registry handles (always on); spans per stage only when a trace sink
+   is installed.  [pipeline.attempts] counts construct_at invocations —
+   pre-flight and every depth-schedule retry alike. *)
+module Obs = Bddfc_obs.Obs
+
+let m_constructs = Obs.Metrics.counter "pipeline.constructs"
+let m_attempts = Obs.Metrics.counter "pipeline.attempts"
+let m_quotients = Obs.Metrics.counter "pipeline.quotient_attempts"
+let t_construct = Obs.Metrics.timer "pipeline.construct"
+
 (* Restrict a model back to the signature of the original theory plus the
    database: drops colors, TGP witnesses and the hidden query predicate. *)
 let original_signature_model theory db inst =
@@ -117,6 +127,9 @@ let original_signature_model theory db inst =
   Instance.restrict_preds inst keep
 
 let rec construct ?(params = default_params) theory db (query : Cq.t) =
+  Obs.Metrics.incr m_constructs;
+  Obs.Metrics.time t_construct @@ fun () ->
+  Obs.Trace.span "pipeline.construct" @@ fun () ->
   (* -------- steps 1 and 2: normalize -------- *)
   let hidden = Normalize.hide_query theory query in
   match Normalize.spade5 hidden.Normalize.theory with
@@ -222,6 +235,12 @@ let rec construct ?(params = default_params) theory db (query : Cq.t) =
 
 and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
     db query ~depth =
+      Obs.Metrics.incr m_attempts;
+      Obs.Trace.span "pipeline.construct_at" @@ fun () ->
+      if Obs.Trace.enabled () then begin
+        Obs.Trace.attr "depth" (Obs.Int depth);
+        Obs.Trace.attr "terminating" (Obs.Bool terminating)
+      end;
       (* -------- step 3: chase prefix -------- *)
       (* Watching the hidden query predicate stops the chase the moment
          entailment is decided — no deeper prefix, and no second chase to
@@ -333,6 +352,9 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
         (* -------- step 6: quotient, saturate, verify -------- *)
         let attempts = ref [] in
         let try_n n =
+          Obs.Metrics.incr m_quotients;
+          Obs.Trace.span "pipeline.try_n" @@ fun () ->
+          if Obs.Trace.enabled () then Obs.Trace.attr "n" (Obs.Int n);
           let g = Bgraph.make coloring.Coloring.colored in
           let refinement =
             Refine.compute ~mode:params.refine_mode ?budget ~depth:n g

@@ -20,12 +20,16 @@ type binding = Element.id Smap.t
 exception Found
 
 (* Join-probe instrumentation: one probe = one candidate fact tried
-   against a partial binding.  The bench harness uses the counter to
-   compare evaluation strategies; it is global and monotonically
-   increasing between resets. *)
-let probes = ref 0
-let reset_probes () = probes := 0
-let probe_count () = !probes
+   against a partial binding.  The counter lives in the process-wide
+   metrics registry as [eval.join_probes] (the bench harness and the
+   chase's per-round telemetry both read it); the legacy entry points
+   below delegate to the registry handle, keeping the counter global and
+   monotonically increasing between resets. *)
+module Obs = Bddfc_obs.Obs
+
+let probes = Obs.Metrics.counter "eval.join_probes"
+let reset_probes () = Obs.Metrics.reset_counter probes
+let probe_count () = Obs.Metrics.value probes
 
 type window = { w_since : int; w_upto : int option }
 
@@ -132,7 +136,7 @@ let iter_solutions_windowed ?(init = Smap.empty) inst watoms yield =
           let rest = List.filter (fun wa -> wa != best) remaining in
           List.iter
             (fun f ->
-              incr probes;
+              Obs.Metrics.incr probes;
               match extend inst binding (fst best) f with
               | Some b -> go b rest
               | None -> ())

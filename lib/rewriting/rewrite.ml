@@ -25,6 +25,14 @@ let src = Logs.Src.create "bddfc.rewrite" ~doc:"UCQ rewriting"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Registry handles (always on); spans and attributes only when a trace
+   sink is installed. *)
+module Obs = Bddfc_obs.Obs
+
+let m_steps = Obs.Metrics.counter "rewrite.steps"
+let m_rewrites = Obs.Metrics.counter "rewrite.runs"
+let t_rewrite = Obs.Metrics.timer "rewrite.run"
+
 let ans_prefix = "_ans_"
 
 let freeze_answers (q : Cq.t) =
@@ -67,6 +75,9 @@ let rewrite ?budget ?(max_disjuncts = 400) ?(max_steps = 20_000)
     | Some b -> Budget.cap ~rewrite_steps:max_steps b
     | None -> Budget.v ~rewrite_steps:max_steps ()
   in
+  Obs.Metrics.incr m_rewrites;
+  Obs.Metrics.time t_rewrite @@ fun () ->
+  Obs.Trace.span "rewrite.run" @@ fun () ->
   let single_head =
     List.for_all Rule.is_single_head (Theory.rules theory)
   in
@@ -93,6 +104,7 @@ let rewrite ?budget ?(max_disjuncts = 400) ?(max_steps = 20_000)
              List.iter
                (fun q' ->
                  incr generated;
+                 Obs.Metrics.incr m_steps;
                  Budget.charge budget Budget.Rewrite_steps 1;
                  let q' = Containment.minimize q' in
                  if _var_count q' > max_disjunct_vars then
@@ -132,6 +144,11 @@ let rewrite ?budget ?(max_disjuncts = 400) ?(max_steps = 20_000)
   Log.debug (fun m ->
       m "rewrite: %d disjuncts, complete=%b, %d steps" (List.length ucq)
         !complete !generated);
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.attr "steps" (Obs.Int !generated);
+    Obs.Trace.attr "disjuncts" (Obs.Int (List.length ucq));
+    Obs.Trace.attr "complete" (Obs.Bool !complete)
+  end;
   {
     ucq;
     complete = !complete;
@@ -164,6 +181,7 @@ type kappa_result = {
 
 let kappa ?budget ?max_disjuncts ?max_steps ?max_piece ?max_disjunct_vars
     theory =
+  Obs.Trace.span "rewrite.kappa" @@ fun () ->
   let tripped = ref None in
   let per_rule =
     List.map

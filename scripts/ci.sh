@@ -33,6 +33,13 @@ dune build @test/cli/runtest
 # evaluation strategies diverge on any bench workload or zoo entry
 dune exec bench/main.exe -- --strategy-smoke
 
+# the observability smoke: tracing must be semantically inert (same
+# results, same counter deltas) and the disabled path within noise;
+# the registry snapshot is archived as a BENCH_*-style blob
+mkdir -p _ci_artifacts
+dune exec bench/main.exe -- --obs-smoke --metrics-out _ci_artifacts/BENCH_obs_smoke.json
+python3 -m json.tool _ci_artifacts/BENCH_obs_smoke.json > /dev/null
+
 # smoke-test the CLI exit-code contract
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

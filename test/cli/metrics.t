@@ -1,0 +1,93 @@
+The --metrics flag: a registry snapshot dumped on exit — to stderr, or
+to a file with --metrics-out — after any subcommand.  The dump never
+changes what lands on stdout or the exit code.
+
+  $ cat > finite.bddfc <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+
+JSON metrics parse and carry the chase telemetry and the wall-clock
+timer (rounds counts executed rounds, including the empty one that
+detects the fixpoint):
+
+  $ bddfc chase --metrics=json finite.bddfc > plain.out 2> metrics.json
+  $ python3 - <<'EOF'
+  > import json
+  > j = json.load(open('metrics.json'))
+  > c = j['counters']
+  > print(c['chase.rounds'], c['chase.facts_added'],
+  >       c['chase.nulls_invented'], c['eval.join_probes'])
+  > print(j['timers']['cli.wall']['count'], j['timers']['chase.run']['count'])
+  > EOF
+  3 2 1 3
+  1 1
+
+stdout is exactly what the bare command prints:
+
+  $ bddfc chase finite.bddfc > bare.out
+  $ diff bare.out plain.out
+
+The human-readable variant (--metrics with no value) is an aligned
+table; the counter rows are deterministic:
+
+  $ bddfc chase finite.bddfc --metrics 2>&1 >/dev/null \
+  >   | awk '$1 ~ /^chase\./ && NF == 2 { print $1, $2 }'
+  chase.facts_added 2
+  chase.nulls_invented 1
+  chase.rounds 3
+  chase.runs 1
+
+--metrics-out writes the snapshot to a file and keeps stderr quiet:
+
+  $ bddfc chase finite.bddfc --metrics-out snap.json > /dev/null 2> err.txt
+  $ wc -c < err.txt
+  0
+  $ python3 -m json.tool snap.json > /dev/null
+
+judge preserves its exit code (3: the query is certain) and counts the
+judgement:
+
+  $ cat > certain.bddfc <<'EOF'
+  > p(X) -> q(X).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc judge --metrics=json certain.bddfc > /dev/null 2> judge.json
+  [3]
+  $ python3 -c "import json; \
+  >   print(json.load(open('judge.json'))['counters']['judge.judgements'])"
+  1
+
+lint composes too:
+
+  $ bddfc lint --metrics=json certain.bddfc > /dev/null 2> lint.json
+  $ python3 -m json.tool lint.json > /dev/null
+
+Budget exhaustion keeps exit 4, and the trip shows up in the registry:
+
+  $ cat > diverging.bddfc <<'EOF'
+  > e(X,Y) -> exists Z. e(Y,Z).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(a,b).
+  > ? u(X,Y).
+  > EOF
+  $ bddfc model --fuel 4 --metrics=json diverging.bddfc > /dev/null 2> model.json
+  [4]
+  $ python3 -c "import json; \
+  >   print(json.load(open('model.json'))['counters']['budget.tripped_total'] >= 1)"
+  True
+
+The snapshot is written on every exit path: an input error still dumps,
+exit 2 is preserved, and with --metrics-out the diagnostic stands alone
+on stderr:
+
+  $ cat > broken.bddfc <<'EOF'
+  > p(X) ->
+  > EOF
+  $ bddfc chase broken.bddfc --metrics-out broken.json
+  broken.bddfc:2:1: parse error: expected an atom, found end of input
+  [2]
+  $ python3 -m json.tool broken.json > /dev/null

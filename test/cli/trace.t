@@ -1,0 +1,69 @@
+The --trace FILE flag: a JSON span tree written on exit.  The root is
+the synthetic "trace" span, its child is the cli.<command> span, and
+engine spans nest below with their attributes and per-round events.
+
+  $ cat > finite.bddfc <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc chase --trace trace.json finite.bddfc > /dev/null
+  $ python3 - <<'EOF'
+  > import json
+  > j = json.load(open('trace.json'))
+  > print(j['name'])
+  > cli = j['children'][0]
+  > print(cli['name'])
+  > run = cli['children'][0]
+  > print(run['name'], run['attrs']['strategy'], run['attrs']['outcome'])
+  > rounds = [e for e in run['events'] if e['name'] == 'chase.round']
+  > print(len(rounds) > 0,
+  >       all('facts_added' in e['attrs'] and 'join_probes' in e['attrs']
+  >           for e in rounds))
+  > EOF
+  trace
+  cli.chase
+  chase.run seminaive fixpoint
+  True True
+
+--trace composes with --timeout/--fuel and --metrics-out; the exit code
+stays 4 and the span records which pool tripped:
+
+  $ cat > diverging.bddfc <<'EOF'
+  > e(X,Y) -> exists Z. e(Y,Z).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(a,b).
+  > ? u(X,Y).
+  > EOF
+  $ bddfc chase --timeout 5 --fuel 3 --trace div.json --metrics-out div.metrics.json diverging.bddfc > /dev/null
+  [4]
+  $ python3 - <<'EOF'
+  > import json
+  > run = json.load(open('div.json'))['children'][0]['children'][0]
+  > print(run['attrs']['outcome'])
+  > EOF
+  exhausted:facts
+  $ python3 -m json.tool div.metrics.json > /dev/null
+
+judge keeps exit 3 and nests its own span:
+
+  $ cat > certain.bddfc <<'EOF'
+  > p(X) -> q(X).
+  > p(a).
+  > ? q(X).
+  > EOF
+  $ bddfc judge --trace judge.json certain.bddfc > /dev/null
+  [3]
+  $ python3 - <<'EOF'
+  > import json
+  > cli = json.load(open('judge.json'))['children'][0]
+  > print(cli['name'], [c['name'] for c in cli['children']])
+  > EOF
+  cli.judge ['judge.run']
+
+An unwritable trace path warns on stderr without disturbing the
+command's own exit code:
+
+  $ bddfc chase --trace /no-such-dir/t.json finite.bddfc > /dev/null
+  bddfc: --trace: /no-such-dir/t.json: No such file or directory

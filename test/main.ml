@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "bddfc"
-    [ Test_logic.suite;
+    [ Test_obs.suite;
+      Test_logic.suite;
       Test_structure.suite;
       Test_hom.suite;
       Test_chase.suite;

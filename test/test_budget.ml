@@ -364,6 +364,61 @@ let test_judge_fuel_trap_never_raises () =
           Alcotest.failf "trap %d escaped judge: %s" n (Printexc.to_string exn))
     [ 0; 3; 17; 100; 1_000 ]
 
+(* --------------------------- observability ----------------------------- *)
+
+module Obs = Bddfc_obs.Obs
+
+(* Every exhaustion funnels through [trip]: the registry counter moves
+   whether or not tracing is on, and under a collector the structured
+   [budget.tripped] event names the resource that fired. *)
+let test_trip_telemetry () =
+  let tripped_delta f =
+    let before = Obs.Metrics.snapshot () in
+    f ();
+    let after = Obs.Metrics.snapshot () in
+    Option.value ~default:0
+      (List.assoc_opt "budget.tripped_total"
+         (Obs.Metrics.ints_delta ~before ~after))
+  in
+  (* trace off: the counter still counts *)
+  Obs.Trace.set_sink None;
+  let d =
+    tripped_delta (fun () ->
+        ignore
+          (Chase.run
+             ~budget:(Budget.v ~rounds:2 ())
+             (th diverging) (db "e(a,b).")))
+  in
+  check Alcotest.int "counter moves with tracing off" 1 d;
+  (* trace on: same counter movement plus the structured event *)
+  let c = Obs.Trace.install_collector () in
+  let d =
+    tripped_delta (fun () ->
+        ignore
+          (Chase.run
+             ~budget:(Budget.v ~rounds:2 ())
+             (th diverging) (db "e(a,b).")))
+  in
+  Obs.Trace.set_sink None;
+  check Alcotest.int "counter moves with tracing on" 1 d;
+  (match Obs.Trace.find_events (Obs.Trace.root c) "budget.tripped" with
+  | [ attrs ] ->
+      check Alcotest.bool "event names the tripped resource" true
+        (List.assoc_opt "resource" attrs
+        = Some (Obs.Str (Budget.resource_name Budget.Rounds)))
+  | l -> Alcotest.failf "expected 1 budget.tripped event, got %d"
+           (List.length l));
+  (* the injected fault goes through the same funnel *)
+  let c = Obs.Trace.install_collector () in
+  let b = Budget.with_fuel_trap ~after:0 (Budget.v ()) in
+  (match Budget.run b (fun () -> Budget.charge b Budget.Nodes 1) with
+  | Error Budget.Nodes -> ()
+  | Error r -> Alcotest.failf "trap blamed %a" Budget.pp_resource r
+  | Ok () -> Alcotest.fail "an after:0 trap must trip at once");
+  Obs.Trace.set_sink None;
+  check Alcotest.int "trap emits the event too" 1
+    (List.length (Obs.Trace.find_events (Obs.Trace.root c) "budget.tripped"))
+
 let suite =
   ( "budget",
     [ tc "fuel charging and exhaustion" test_fuel_charging;
@@ -391,4 +446,6 @@ let suite =
       tc "pipeline: fault-injection sweep" test_pipeline_fuel_trap_sweep;
       tc "judge: fault injection never raises"
         test_judge_fuel_trap_never_raises;
+      tc "trip telemetry: counter always, event under tracing"
+        test_trip_telemetry;
     ] )

@@ -245,6 +245,116 @@ let test_fuel_trap_prefix_consistent () =
       end)
     [ 5; 17; 40; 99; 250 ]
 
+(* ----------------------------------------------------------------- *)
+(* Telemetry invariants                                               *)
+(* ----------------------------------------------------------------- *)
+
+(* The per-round [chase.round] events and the always-on registry
+   counters are two independent views of the same run; here the
+   differential oracle is the instance itself.  On a clean (fixpoint or
+   watched) run:
+
+     - one event per executed round, numbered 1..rounds in order;
+     - the events' facts_added mirror [new_facts_per_round] and sum to
+       the final-minus-base fact count;
+     - nulls_invented sums to the element delta;
+     - per-round join_probes sum to the registry's eval.join_probes
+       delta, and the chase.* counters match the result record.
+
+   A budget trip may abandon a partial round that mutated the instance
+   and the counters after the last reported event, so exhausted runs
+   only get the one-sided bounds. *)
+
+module Obs = Bddfc_obs.Obs
+
+let ev_int name attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Obs.Int n) -> n
+  | _ -> Alcotest.failf "%s: chase.round event lacks int attr %s" name key
+
+let check_telemetry name theory d =
+  Obs.Trace.set_sink None;
+  let before = Obs.Metrics.snapshot () in
+  let c = Obs.Trace.install_collector () in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.set_sink None)
+      (fun () -> Chase.run ~max_rounds:8 ~max_elements:2_000 theory d)
+  in
+  let after = Obs.Metrics.snapshot () in
+  let delta = Obs.Metrics.ints_delta ~before ~after in
+  let reg k = Option.value ~default:0 (List.assoc_opt k delta) in
+  let events = Obs.Trace.find_events (Obs.Trace.root c) "chase.round" in
+  let col key = List.map (fun a -> ev_int name a key) events in
+  let sum key = List.fold_left ( + ) 0 (col key) in
+  (* [rounds] counts productive rounds; the record (and the event
+     stream) also carries the final empty round that detected the
+     fixpoint, so the executed count is the record's length. *)
+  let executed = List.length r.Chase.new_facts_per_round in
+  check Alcotest.int (name ^ ": one event per executed round") executed
+    (List.length events);
+  check
+    Alcotest.(list int)
+    (name ^ ": events in round order")
+    (List.init executed (fun i -> i + 1))
+    (col "round");
+  check
+    Alcotest.(list int)
+    (name ^ ": facts_added mirrors the result record")
+    (List.rev r.Chase.new_facts_per_round)
+    (col "facts_added");
+  let facts_delta =
+    Instance.num_facts r.Chase.instance - List.length r.Chase.base_facts
+  in
+  let elems_delta =
+    Instance.num_elements r.Chase.instance - Instance.num_elements d
+  in
+  match r.Chase.outcome with
+  | Chase.Exhausted _ ->
+      (* the trapped partial round mutated state after its event was lost *)
+      check Alcotest.bool (name ^ ": facts events bounded by instance") true
+        (sum "facts_added" <= facts_delta);
+      check Alcotest.bool (name ^ ": nulls events bounded by instance") true
+        (sum "nulls_invented" <= elems_delta);
+      check Alcotest.bool (name ^ ": probe events bounded by registry") true
+        (sum "join_probes" <= reg "eval.join_probes")
+  | Chase.Fixpoint | Chase.Watched ->
+      check Alcotest.int
+        (name ^ ": facts_added sums to the instance delta")
+        facts_delta (sum "facts_added");
+      check Alcotest.int
+        (name ^ ": facts_added sums to the registry counter")
+        (reg "chase.facts_added")
+        (sum "facts_added");
+      check Alcotest.int
+        (name ^ ": nulls_invented sums to the element delta")
+        elems_delta (sum "nulls_invented");
+      check Alcotest.int
+        (name ^ ": nulls_invented sums to the registry counter")
+        (reg "chase.nulls_invented")
+        (sum "nulls_invented");
+      check Alcotest.int
+        (name ^ ": join_probes sum to the registry delta")
+        (reg "eval.join_probes")
+        (sum "join_probes");
+      check Alcotest.int
+        (name ^ ": registry rounds counter matches")
+        executed (reg "chase.rounds")
+
+let test_obs_zoo_invariants () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      check_telemetry e.Zoo.name e.Zoo.theory (Zoo.database_instance e))
+    Zoo.all
+
+let test_obs_random_invariants () =
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      check_telemetry (Printf.sprintf "seed %d" seed) theory d)
+    random_cases
+
 let suite =
   ( "differential",
     [ tc "zoo: naive vs seminaive agree" test_zoo_agreement;
@@ -260,4 +370,7 @@ let suite =
         test_fuel_trap_no_leak;
       tc "fuel traps: committed prefix is round-complete"
         test_fuel_trap_prefix_consistent;
+      tc "telemetry: zoo events reconcile with instances and registry"
+        test_obs_zoo_invariants;
+      tc "telemetry: 60 random seeds reconcile" test_obs_random_invariants;
     ] )

@@ -1,0 +1,265 @@
+(* The observability substrate in isolation: registry semantics (counter
+   monotonicity, resets, snapshot isolation, JSON round-trips) and tracer
+   semantics (disabled no-op, span nesting, attribute and event capture).
+
+   The suite leaves the global state clean — sink removed, registry
+   reset — so later suites (the metamorphic and invariant tests) start
+   from a known baseline. *)
+
+open Bddfc_obs
+module M = Obs.Metrics
+module T = Obs.Trace
+
+let check = Alcotest.check
+
+(* Fresh names per test keep the process-wide registry unambiguous even
+   though registration is permanent. *)
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test_obs.%s.%d" prefix !n
+
+(* ------------------------------ registry ------------------------------ *)
+
+let test_counter_monotonic () =
+  let c = M.counter (fresh "mono") in
+  check Alcotest.int "starts at 0" 0 (M.value c);
+  M.incr c;
+  M.incr c;
+  check Alcotest.int "two incrs" 2 (M.value c);
+  M.add c 5;
+  check Alcotest.int "add accumulates" 7 (M.value c);
+  M.add c 0;
+  check Alcotest.int "add 0 is a no-op" 7 (M.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Metrics.add: negative increment") (fun () ->
+      M.add c (-1));
+  check Alcotest.int "value unchanged after the rejected add" 7 (M.value c)
+
+let test_counter_reset () =
+  let c = M.counter (fresh "reset") in
+  M.add c 41;
+  M.reset_counter c;
+  check Alcotest.int "reset_counter zeroes" 0 (M.value c);
+  M.incr c;
+  check Alcotest.int "monotonic again after reset" 1 (M.value c)
+
+let test_handle_idempotent () =
+  let name = fresh "handle" in
+  let a = M.counter name in
+  let b = M.counter name in
+  M.incr a;
+  M.incr b;
+  check Alcotest.int "both handles hit the same metric" 2 (M.value a);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument
+       (Printf.sprintf "Obs.Metrics: %s is already a counter" name))
+    (fun () -> ignore (M.gauge name))
+
+let test_gauge_and_timer () =
+  let g = M.gauge (fresh "gauge") in
+  M.set g 17;
+  M.set g 3;
+  check Alcotest.int "gauge keeps the last value" 3 (M.gauge_value g);
+  let tname = fresh "timer" in
+  let t = M.timer tname in
+  M.record_s t 0.25;
+  M.record_s t 0.5;
+  let snap = M.snapshot () in
+  check Alcotest.bool "timers are not part of ints" true
+    (not (List.mem_assoc tname (M.ints snap)));
+  match M.find_timer snap tname with
+  | None -> Alcotest.fail "timer missing from the snapshot"
+  | Some (count, total) ->
+      check Alcotest.int "observation count" 2 count;
+      check (Alcotest.float 1e-9) "total seconds" 0.75 total
+
+let test_timer_records () =
+  let name = fresh "timed" in
+  let t = M.timer name in
+  let r = M.time t (fun () -> 42) in
+  check Alcotest.int "time returns the thunk's value" 42 r;
+  (try M.time t (fun () -> failwith "boom") with Failure _ -> ());
+  match M.find_timer (M.snapshot ()) name with
+  | None -> Alcotest.fail "timer missing from the snapshot"
+  | Some (count, total) ->
+      check Alcotest.int "both runs recorded (exception included)" 2 count;
+      check Alcotest.bool "total is non-negative" true (total >= 0.)
+
+let test_snapshot_isolation () =
+  let name = fresh "snap" in
+  let c = M.counter name in
+  M.add c 3;
+  let snap = M.snapshot () in
+  M.add c 100;
+  check (Alcotest.option Alcotest.int) "snapshot is immutable" (Some 3)
+    (M.find_int snap name);
+  check Alcotest.int "the live counter moved on" 103 (M.value c)
+
+let test_ints_delta () =
+  let name = fresh "delta" in
+  let c = M.counter name in
+  M.incr c;
+  let before = M.snapshot () in
+  M.add c 9;
+  let after = M.snapshot () in
+  let d = M.ints_delta ~before ~after in
+  check (Alcotest.option Alcotest.int) "delta of the active counter"
+    (Some 9) (List.assoc_opt name d);
+  check Alcotest.bool "zero deltas dropped" true
+    (List.for_all (fun (_, v) -> v <> 0) d)
+
+let test_json_round_trip () =
+  let cname = fresh "json_c" and gname = fresh "json_g" in
+  let tname = fresh "json_t" in
+  M.add (M.counter cname) 12;
+  M.set (M.gauge gname) 5;
+  M.record_s (M.timer tname) 0.125;
+  let s = M.to_json (M.snapshot ()) in
+  match Obs.Json.parse s with
+  | Error e -> Alcotest.fail ("snapshot JSON does not parse: " ^ e)
+  | Ok j -> (
+      let counter =
+        Option.bind (Obs.Json.member "counters" j) (Obs.Json.member cname)
+      in
+      check Alcotest.bool "counter round-trips" true
+        (counter = Some (Obs.Json.N 12.));
+      let gauge =
+        Option.bind (Obs.Json.member "gauges" j) (Obs.Json.member gname)
+      in
+      check Alcotest.bool "gauge round-trips" true
+        (gauge = Some (Obs.Json.N 5.));
+      match
+        Option.bind (Obs.Json.member "timers" j) (Obs.Json.member tname)
+      with
+      | None -> Alcotest.fail "timer missing from the JSON"
+      | Some tj ->
+          check Alcotest.bool "timer count round-trips" true
+            (Obs.Json.member "count" tj = Some (Obs.Json.N 1.));
+          check Alcotest.bool "timer total round-trips" true
+            (Obs.Json.member "total_s" tj = Some (Obs.Json.N 0.125)))
+
+let test_bench_blob_parses () =
+  M.add (M.counter (fresh "blob")) 2;
+  let s = M.to_bench_json (M.snapshot ()) in
+  match Obs.Json.parse s with
+  | Error e -> Alcotest.fail ("bench blob does not parse: " ^ e)
+  | Ok (Obs.Json.A samples) ->
+      check Alcotest.bool "non-empty" true (samples <> []);
+      List.iter
+        (fun sample ->
+          check Alcotest.bool "every sample has name/value/unit" true
+            (Obs.Json.member "name" sample <> None
+            && Obs.Json.member "value" sample <> None
+            && (Obs.Json.member "unit" sample = Some (Obs.Json.S "count")
+               || Obs.Json.member "unit" sample = Some (Obs.Json.S "s"))))
+        samples
+  | Ok _ -> Alcotest.fail "bench blob is not a JSON array"
+
+(* ------------------------------- tracer ------------------------------- *)
+
+let test_disabled_noop () =
+  T.set_sink None;
+  check Alcotest.bool "tracing off by default in tests" false (T.enabled ());
+  (* span/attr/event must be transparent no-ops *)
+  let r = T.span "dead" (fun () -> T.attr "k" (Obs.Int 1); 99) in
+  check Alcotest.int "span returns the thunk's value when disabled" 99 r;
+  T.event "dead.event" [ ("k", Obs.Int 1) ]
+
+let test_span_nesting () =
+  let c = T.install_collector () in
+  let r =
+    T.span "outer" (fun () ->
+        T.attr "who" (Obs.Str "outer");
+        T.span "inner_a" (fun () -> T.event "tick" [ ("n", Obs.Int 1) ]);
+        T.span "inner_b" (fun () -> ());
+        7)
+  in
+  T.set_sink None;
+  check Alcotest.int "span is transparent" 7 r;
+  let root = T.root c in
+  match T.children root with
+  | [ outer ] -> (
+      check Alcotest.string "outer name" "outer" outer.T.name;
+      check Alcotest.bool "outer elapsed recorded" true
+        (outer.T.elapsed_s >= 0.);
+      check (Alcotest.list Alcotest.string) "children in program order"
+        [ "inner_a"; "inner_b" ]
+        (List.map (fun n -> n.T.name) (T.children outer));
+      check Alcotest.bool "attr captured" true
+        (List.assoc_opt "who" (T.attrs outer) = Some (Obs.Str "outer"));
+      match T.find_events root "tick" with
+      | [ attrs ] ->
+          check Alcotest.bool "event attrs captured" true
+            (List.assoc_opt "n" attrs = Some (Obs.Int 1))
+      | l -> Alcotest.failf "expected 1 tick event, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root child, got %d" (List.length l)
+
+let test_span_closes_on_exception () =
+  let c = T.install_collector () in
+  (try T.span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let after = T.span "after" (fun () -> 1) in
+  T.set_sink None;
+  check Alcotest.int "tracing still works after the exception" 1 after;
+  check (Alcotest.list Alcotest.string) "both spans closed at top level"
+    [ "boom"; "after" ]
+    (List.map (fun n -> n.T.name) (T.children (T.root c)))
+
+let test_span_tree_json () =
+  let c = T.install_collector () in
+  T.span "parent" (fun () ->
+      T.attr "depth" (Obs.Int 3);
+      T.attr "ok" (Obs.Bool true);
+      T.event "e" [ ("s", Obs.Str "x\"y") ];
+      T.span "child" (fun () -> ()));
+  T.set_sink None;
+  let s = T.span_to_json (T.root c) in
+  match Obs.Json.parse s with
+  | Error e -> Alcotest.fail ("span tree JSON does not parse: " ^ e)
+  | Ok j -> (
+      check Alcotest.bool "root is the synthetic trace span" true
+        (Obs.Json.member "name" j = Some (Obs.Json.S "trace"));
+      match Obs.Json.member "children" j with
+      | Some (Obs.Json.A [ parent ]) -> (
+          check Alcotest.bool "attrs serialized" true
+            (Option.bind (Obs.Json.member "attrs" parent)
+               (Obs.Json.member "depth")
+            = Some (Obs.Json.N 3.));
+          match Obs.Json.member "children" parent with
+          | Some (Obs.Json.A [ child ]) ->
+              check Alcotest.bool "child name" true
+                (Obs.Json.member "name" child = Some (Obs.Json.S "child"))
+          | _ -> Alcotest.fail "child span missing")
+      | _ -> Alcotest.fail "root children missing")
+
+(* Leave the global registry clean for the suites that follow. *)
+let test_global_reset () =
+  let c = M.counter (fresh "final") in
+  M.incr c;
+  M.reset ();
+  check Alcotest.int "reset () zeroes the registry" 0 (M.value c);
+  check Alcotest.bool "tracing left disabled" false (T.enabled ())
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+      Alcotest.test_case "counter reset" `Quick test_counter_reset;
+      Alcotest.test_case "handle idempotence and kind clash" `Quick
+        test_handle_idempotent;
+      Alcotest.test_case "gauge semantics" `Quick test_gauge_and_timer;
+      Alcotest.test_case "timer records (exceptions too)" `Quick
+        test_timer_records;
+      Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+      Alcotest.test_case "ints_delta" `Quick test_ints_delta;
+      Alcotest.test_case "snapshot JSON round-trip" `Quick
+        test_json_round_trip;
+      Alcotest.test_case "bench blob shape" `Quick test_bench_blob_parses;
+      Alcotest.test_case "disabled sink is a no-op" `Quick test_disabled_noop;
+      Alcotest.test_case "span nesting and capture" `Quick test_span_nesting;
+      Alcotest.test_case "span closes on exception" `Quick
+        test_span_closes_on_exception;
+      Alcotest.test_case "span tree JSON" `Quick test_span_tree_json;
+      Alcotest.test_case "global reset" `Quick test_global_reset;
+    ] )

@@ -301,6 +301,46 @@ let suite =
       prop_pipeline_honest;
     ] )
 
+(* Metamorphic observability property: tracing is semantically inert.
+   Running the same chase with the span collector installed must produce
+   the same outcome and instance fingerprint as running it with tracing
+   disabled, and the always-on registry counters must move by exactly the
+   same amounts — events and attributes are a read-only window, never an
+   input, to the engines. *)
+let obs_fingerprint (t, inst) =
+  let module M = Bddfc_obs.Obs.Metrics in
+  let module T = Bddfc_obs.Obs.Trace in
+  let observe () =
+    let before = M.snapshot () in
+    let r =
+      Chase.run ~max_rounds:8 ~max_elements:2_000 t (Instance.copy inst)
+    in
+    let delta = M.ints_delta ~before ~after:(M.snapshot ()) in
+    let fp =
+      ( r.Chase.rounds,
+        Instance.num_facts r.Chase.instance,
+        Instance.num_elements r.Chase.instance,
+        r.Chase.new_facts_per_round )
+    in
+    (fp, delta)
+  in
+  T.set_sink None;
+  let off = observe () in
+  let collector = T.install_collector () in
+  let on = observe () in
+  T.set_sink None;
+  ignore collector;
+  (off, on)
+
+let prop_tracing_inert =
+  make_test ~count:70 "tracing is semantically inert"
+    (arb
+       QCheck.Gen.(pair theory_gen instance_gen)
+       (fun (t, inst) -> Theory.show t ^ "\n" ^ Instance.show inst))
+    (fun ti ->
+      let (fp_off, delta_off), (fp_on, delta_on) = obs_fingerprint ti in
+      fp_off = fp_on && delta_off = delta_on)
+
 (* Fuzzing the pipeline's honesty over pseudo-random binary frontier-one
    theories and instances: whatever it answers, the answer verifies.
    A Model must pass the certificate checker; a Query_entailed must be
@@ -332,4 +372,4 @@ let prop_pipeline_fuzz =
 
 let suite =
   let name, tests = suite in
-  (name, tests @ [ prop_pipeline_fuzz ])
+  (name, tests @ [ prop_tracing_inert; prop_pipeline_fuzz ])
