@@ -30,6 +30,16 @@ let smoke_only = ref false
 let obs_smoke_only = ref false
 let metrics_out = ref ""
 
+(* --eval-smoke runs only EX-17's compiled/interp agreement check and
+   exits nonzero on divergence; --bench05-out writes EX-17's per-workload
+   engine measurements as BENCH_05.json; --bench05-check compares the
+   current compiled-engine probe counts against a committed blob and
+   fails on a >10% regression (probe counts are deterministic, wall
+   times are not — only the counts gate). *)
+let eval_smoke_only = ref false
+let bench05_out = ref ""
+let bench05_check = ref ""
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -54,10 +64,18 @@ let parse_args () =
        " run only the observability smoke (tracing inertness + disabled \
         overhead); exit 1 on divergence");
       ("--metrics-out", Arg.Set_string metrics_out,
-       "FILE write the final metrics snapshot as a BENCH json blob") ]
+       "FILE write the final metrics snapshot as a BENCH json blob");
+      ("--eval-smoke", Arg.Set eval_smoke_only,
+       " run only the compiled/interp join-engine agreement smoke; exit \
+        1 on divergence");
+      ("--bench05-out", Arg.Set_string bench05_out,
+       "FILE write EX-17's per-workload engine measurements (BENCH_05)");
+      ("--bench05-check", Arg.Set_string bench05_check,
+       "FILE fail when compiled probe counts regress >10% vs the blob") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
-     [--obs-smoke] [--metrics-out FILE]";
+     [--obs-smoke] [--eval-smoke] [--metrics-out FILE] [--bench05-out FILE] \
+     [--bench05-check FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -606,6 +624,271 @@ let ex14_strategies () =
     (ex14_workloads ())
 
 (* ------------------------------------------------------------------ *)
+(* EX-17: compiled vs interpreted join engine                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine comparison runs EX-14's workloads once per join engine
+   (semi-naive strategy, the default) and reads the registry deltas:
+   eval.join_probes (candidate facts tried — identical work, possibly in
+   a different order) and eval.index_ops (probe-equivalent index
+   operations: candidate lists materialized by the interpreter vs O(1)
+   cardinality reads plus probes for compiled plans — the cost the
+   compilation exists to remove).  Counts are deterministic; wall times
+   are not, so only the counts feed BENCH_05 and its CI gate. *)
+
+type ex17_row = {
+  x_workload : string;
+  x_engine : string;
+  x_rounds : int; (* chase rounds, or iterations for query workloads *)
+  x_facts : int; (* final facts, or solutions for query workloads *)
+  x_probes : int;
+  x_index_ops : int;
+  x_wall_s : float;
+}
+
+(* EX-14's chase workloads (1-2 atom bodies, where chase bookkeeping
+   dominates) plus repeated wide-body query joins, the shape the
+   compilation targets: per probe the interpreter pays Smap lookups and
+   candidate-list conses, the compiled plan an int-array walk. *)
+let ex17_workloads () =
+  let digraph = Gen.random_digraph ~nodes:80 ~edges:160 ~seed:7 () in
+  let path4 =
+    Logic.Parser.parse_query "? e(X,Y), e(Y,Z), e(Z,W), e(W,V)."
+  in
+  let tri = Logic.Parser.parse_query "? e(X,Y), e(Y,Z), e(Z,X)." in
+  let diamond =
+    Logic.Parser.parse_query "? e(X,Y), e(X,Z), e(Y,W), e(Z,W)."
+  in
+  List.map (fun (n, t, d, m) -> (n, `Chase (t, d, m))) (ex14_workloads ())
+  @ [ ("path4/digraph80", `Query (digraph, path4, 40));
+      ("tri/digraph80", `Query (digraph, tri, 200));
+      ("diamond/digraph80", `Query (digraph, diamond, 100));
+    ]
+
+let ex17_measure () =
+  List.concat_map
+    (fun (name, work) ->
+      List.map
+        (fun eval ->
+          let run () =
+            match work with
+            | `Chase (theory, db, `Saturate) ->
+                let r =
+                  Chase.Chase.saturate_datalog ~eval ?budget:!governor theory
+                    db
+                in
+                (r.Chase.Chase.rounds, I.num_facts r.Chase.Chase.instance)
+            | `Chase (theory, db, `Rounds k) ->
+                let r =
+                  Chase.Chase.run ~eval ?budget:!governor ~max_rounds:k theory
+                    db
+                in
+                (r.Chase.Chase.rounds, I.num_facts r.Chase.Chase.instance)
+            | `Query (inst, q, iters) ->
+                let n = ref 0 in
+                for _ = 1 to iters do
+                  n := 0;
+                  Hom.Eval.iter_solutions ~engine:eval inst
+                    (Logic.Cq.body q) (fun _ -> incr n)
+                done;
+                (iters, !n)
+          in
+          let before = Obs.Metrics.snapshot () in
+          let (rounds, facts), t = time_it run in
+          let delta =
+            Obs.Metrics.ints_delta ~before ~after:(Obs.Metrics.snapshot ())
+          in
+          let get k = Option.value (List.assoc_opt k delta) ~default:0 in
+          { x_workload = name;
+            x_engine = Hom.Eval.engine_tag eval;
+            x_rounds = rounds;
+            x_facts = facts;
+            x_probes = get "eval.join_probes";
+            x_index_ops = get "eval.index_ops";
+            x_wall_s = t;
+          })
+        [ Hom.Eval.Interp; Hom.Eval.Compiled ])
+    (ex17_workloads ())
+
+let ex17_engines rows =
+  header "EX-17: compiled vs interpreted join engine (index operations)";
+  Fmt.pr "%-16s %-10s %-8s %-8s %-12s %-12s %-9s %s@." "workload" "engine"
+    "rounds" "facts" "probes" "index ops" "time(s)" "vs interp";
+  List.iter
+    (fun row ->
+      let ratio =
+        if row.x_engine <> "compiled" then "-"
+        else
+          match
+            List.find_opt
+              (fun r ->
+                r.x_workload = row.x_workload && r.x_engine = "interp")
+              rows
+          with
+          | Some ir when row.x_index_ops > 0 && row.x_wall_s > 0. ->
+              Printf.sprintf "%.1fx fewer ops, %.1fx faster"
+                (float_of_int ir.x_index_ops /. float_of_int row.x_index_ops)
+                (ir.x_wall_s /. row.x_wall_s)
+          | _ -> "-"
+      in
+      Fmt.pr "%-16s %-10s %-8d %-8d %-12d %-12d %-9.3f %s@." row.x_workload
+        row.x_engine row.x_rounds row.x_facts row.x_probes row.x_index_ops
+        row.x_wall_s ratio)
+    rows
+
+(* BENCH_05.json: one object per (workload, engine) measurement.  The
+   blob is committed at the repo root; --bench05-check re-measures and
+   fails when a compiled probe or index-op count regressed >10% against
+   it (lower is always fine — the gate is one-sided). *)
+let ex17_blob rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiment\":\"EX-17\",\"rows\":[\n";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"workload\":\"%s\",\"engine\":\"%s\",\"rounds\":%d,\"facts\":%d,\
+            \"probes\":%d,\"index_ops\":%d,\"wall_s\":%.6f}"
+           row.x_workload row.x_engine row.x_rounds row.x_facts row.x_probes
+           row.x_index_ops row.x_wall_s))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let ex17_write_blob rows path =
+  let oc = open_out path in
+  output_string oc (ex17_blob rows);
+  close_out oc;
+  Fmt.pr "wrote EX-17 blob to %s@." path
+
+(* Minimal field scraping for the committed blob (no JSON dependency):
+   each row object carries its fields on one line, so locating the
+   [workload]/[engine] pair and reading an integer field after it is
+   enough, and a malformed blob simply fails the gate. *)
+let ex17_read_blob path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let field name =
+         let tag = Printf.sprintf "\"%s\":" name in
+         let tlen = String.length tag and llen = String.length line in
+         let rec find from =
+           if from + tlen > llen then None
+           else if String.sub line from tlen = tag then Some (from + tlen)
+           else find (from + 1)
+         in
+         match find 0 with
+         | None -> None
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < llen
+               && (match line.[!stop] with
+                  | '0' .. '9' | '"' | '/' | 'a' .. 'z' | '.' | '-' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             Some (String.sub line start (!stop - start))
+       in
+       match (field "workload", field "engine", field "probes",
+              field "index_ops")
+       with
+       | Some w, Some e, Some p, Some io ->
+           let unquote s =
+             String.concat "" (String.split_on_char '"' s)
+           in
+           rows :=
+             (unquote w, unquote e, int_of_string p, int_of_string io)
+             :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let ex17_check rows path =
+  let blob = ex17_read_blob path in
+  let failures = ref 0 in
+  List.iter
+    (fun row ->
+      if row.x_engine = "compiled" then
+        match
+          List.find_opt
+            (fun (w, e, _, _) -> w = row.x_workload && e = "compiled")
+            blob
+        with
+        | None ->
+            incr failures;
+            Fmt.pr "bench05 gate: %s missing from %s@." row.x_workload path
+        | Some (_, _, p0, io0) ->
+            let regressed label now base =
+              if float_of_int now > 1.10 *. float_of_int base then begin
+                incr failures;
+                Fmt.pr
+                  "bench05 gate: %s %s regressed %d -> %d (>10%%)@."
+                  row.x_workload label base now
+              end
+            in
+            regressed "probes" row.x_probes p0;
+            regressed "index_ops" row.x_index_ops io0)
+    rows;
+  if !failures = 0 then begin
+    Fmt.pr "bench05 gate: compiled probe counts within 10%% of %s@." path;
+    0
+  end
+  else 1
+
+(* The CI smoke for the join engines: both engines must agree round by
+   round on every workload and zoo entry.  Divergence is a bug in the
+   compiled plans (the interpreter is the oracle). *)
+let eval_smoke () =
+  header "eval smoke: compiled vs interpreted join engine agreement";
+  let failures = ref 0 in
+  let check name run =
+    let a = run Hom.Eval.Interp in
+    let b = run Hom.Eval.Compiled in
+    let ok =
+      a.Chase.Chase.rounds = b.Chase.Chase.rounds
+      && I.num_facts a.Chase.Chase.instance
+         = I.num_facts b.Chase.Chase.instance
+      && a.Chase.Chase.new_facts_per_round = b.Chase.Chase.new_facts_per_round
+      && Chase.Chase.is_model a = Chase.Chase.is_model b
+    in
+    if not ok then incr failures;
+    Fmt.pr "%-20s %-6s (interp %d rounds/%d facts, compiled %d/%d)@." name
+      (if ok then "agree" else "DIVERGE")
+      a.Chase.Chase.rounds
+      (I.num_facts a.Chase.Chase.instance)
+      b.Chase.Chase.rounds
+      (I.num_facts b.Chase.Chase.instance)
+  in
+  List.iter
+    (fun (name, theory, db, mode) ->
+      check name (fun eval ->
+          match mode with
+          | `Saturate -> Chase.Chase.saturate_datalog ~eval theory db
+          | `Rounds k -> Chase.Chase.run ~eval ~max_rounds:k theory db))
+    (ex14_workloads ());
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let db = Zoo.database_instance e in
+      check e.Zoo.name (fun eval ->
+          Chase.Chase.run ~eval ~max_rounds:10 ~max_elements:4000 e.Zoo.theory
+            db))
+    Zoo.all;
+  if !failures = 0 then begin
+    Fmt.pr "eval smoke: all workloads agree@.";
+    0
+  end
+  else begin
+    Fmt.pr "eval smoke: %d workload(s) DIVERGED@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* EX-16: per-entry chase telemetry from the metrics registry           *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +957,11 @@ let obs_smoke () =
   List.iter
     (fun (name, theory, db, mode) ->
       let run = run_of mode theory db in
+      (* Warm the compiled-plan cache first: otherwise the first measured
+         run pays eval.plans_compiled and the second collects
+         eval.plan_cache_hits, and the counter deltas differ for cache
+         reasons, not tracing ones. *)
+      ignore (run ());
       Obs.Trace.set_sink None;
       let fp_off, delta_off = observe run in
       let c = Obs.Trace.install_collector () in
@@ -819,6 +1107,12 @@ let strategy_smoke () =
     1
   end
 
+let run_ex17 () =
+  let rows = ex17_measure () in
+  ex17_engines rows;
+  if !bench05_out <> "" then ex17_write_blob rows !bench05_out;
+  if !bench05_check <> "" then ex17_check rows !bench05_check else 0
+
 let () =
   parse_args ();
   if !smoke_only then exit (strategy_smoke ());
@@ -826,6 +1120,11 @@ let () =
     let code = obs_smoke () in
     write_metrics_blob ();
     exit code
+  end;
+  if !eval_smoke_only then begin
+    let smoke = eval_smoke () in
+    let gate = run_ex17 () in
+    exit (max smoke gate)
   end;
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
@@ -841,6 +1140,7 @@ let () =
   encodings ();
   ablations ();
   ex14_strategies ();
+  (match run_ex17 () with 0 -> () | _ -> exit 1);
   ex15_analysis ();
   ex16_metrics_profile ();
   micro ();

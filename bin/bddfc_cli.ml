@@ -153,6 +153,20 @@ let strategy_term =
               the default) or $(b,naive) (per-round snapshot re-join; \
               reference implementation).")
 
+(* Every subcommand accepts --eval so scripts can A/B the compiled join
+   engine against the reference interpreter uniformly; commands that
+   never join (lint) accept and ignore it. *)
+let eval_term =
+  Arg.(
+    value
+    & opt (enum [ ("compiled", Hom.Eval.Compiled);
+                  ("interp", Hom.Eval.Interp) ])
+        Hom.Eval.Compiled
+    & info [ "eval" ] ~docv:"ENGINE"
+        ~doc:"Join engine for query evaluation: $(b,compiled) (cached \
+              per-rule query plans, the default) or $(b,interp) (the \
+              reference interpreter; differential oracle).")
+
 (* Commands that run the pipeline accept --no-preflight so the
    acyclicity-based fuel-free chase can be ablated (and its verdict
    upgrades regression-tested). *)
@@ -271,12 +285,13 @@ let chase_cmd =
           Chase.Chase.Restricted
       & info [ "variant" ] ~doc:"Chase variant: restricted or oblivious.")
   in
-  let run file rounds variant strategy budget obs verbose =
+  let run file rounds variant strategy eval budget obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"chase" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
     let r =
-      Chase.Chase.run ~variant ~strategy ?budget ~max_rounds:rounds theory db
+      Chase.Chase.run ~variant ~strategy ~eval ?budget ~max_rounds:rounds theory
+        db
     in
     Fmt.pr "%a@." Structure.Instance.pp r.Chase.Chase.instance;
     Fmt.pr "-- rounds: %d, elements: %d, facts: %d, %a@."
@@ -287,7 +302,7 @@ let chase_cmd =
     List.iter
       (fun q ->
         Fmt.pr "-- %a : %b@." Logic.Cq.pp q
-          (Hom.Eval.holds r.Chase.Chase.instance q))
+          (Hom.Eval.holds ~engine:eval r.Chase.Chase.instance q))
       queries;
     match r.Chase.Chase.outcome with
     | Chase.Chase.Exhausted _ -> exit_unknown
@@ -295,8 +310,8 @@ let chase_cmd =
   in
   Cmd.v (Cmd.info "chase" ~doc:"Run the chase on a program file." ~exits)
     Term.(
-      const run $ file_arg $ rounds $ variant $ strategy_term $ budget_term
-      $ obs_term $ verbose_arg)
+      const run $ file_arg $ rounds $ variant $ strategy_term $ eval_term
+      $ budget_term $ obs_term $ verbose_arg)
 
 (* ---------------------------- rewrite ---------------------------- *)
 
@@ -304,7 +319,8 @@ let rewrite_cmd =
   let max_disjuncts =
     Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
   in
-  let run file max_disjuncts (_ : Chase.Chase.strategy) budget obs verbose =
+  let run file max_disjuncts (_ : Chase.Chase.strategy) eval budget obs verbose
+      =
     setup_logs verbose;
     with_obs ~cmd:"rewrite" obs @@ fun () ->
     with_program file @@ fun (theory, _, queries, _) ->
@@ -312,7 +328,9 @@ let rewrite_cmd =
     let all_complete = ref true in
     List.iter
       (fun q ->
-        let r = Rewriting.Rewrite.rewrite ?budget ~max_disjuncts theory q in
+        let r =
+          Rewriting.Rewrite.rewrite ?budget ~eval ~max_disjuncts theory q
+        in
         if not r.Rewriting.Rewrite.complete then all_complete := false;
         Fmt.pr "@[<v>query: %a@,complete (BDD for this query): %b@,%a@,@]"
           Logic.Cq.pp q r.Rewriting.Rewrite.complete
@@ -325,19 +343,20 @@ let rewrite_cmd =
     (Cmd.info "rewrite" ~doc:"Compute positive first-order (UCQ) rewritings."
        ~exits)
     Term.(
-      const run $ file_arg $ max_disjuncts $ strategy_term $ budget_term
-      $ obs_term $ verbose_arg)
+      const run $ file_arg $ max_disjuncts $ strategy_term $ eval_term
+      $ budget_term $ obs_term $ verbose_arg)
 
 (* ---------------------------- classify --------------------------- *)
 
 let classify_cmd =
-  let run file (_ : Chase.Chase.strategy) budget obs verbose =
+  let run file (_ : Chase.Chase.strategy) eval budget obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"classify" obs @@ fun () ->
     with_program file @@ fun (theory, _, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
     let k =
-      Rewriting.Rewrite.kappa ?budget ~max_disjuncts:100 ~max_steps:2000 theory
+      Rewriting.Rewrite.kappa ?budget ~eval ~max_disjuncts:100 ~max_steps:2000
+        theory
     in
     Fmt.pr "kappa: %d (rewritings complete: %b)@." k.Rewriting.Rewrite.kappa
       k.Rewriting.Rewrite.all_complete;
@@ -345,7 +364,7 @@ let classify_cmd =
   in
   Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
     Term.(
-      const run $ file_arg $ strategy_term $ budget_term $ obs_term
+      const run $ file_arg $ strategy_term $ eval_term $ budget_term $ obs_term
       $ verbose_arg)
 
 (* ------------------------------ lint ------------------------------ *)
@@ -368,7 +387,7 @@ let lint_cmd =
                 when any warning (or error) is reported.  Info-level \
                 class-membership diagnostics never fail the lint.")
   in
-  let run file format deny obs verbose =
+  let run file format deny (_ : Hom.Eval.engine) obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"lint" obs @@ fun () ->
     with_program file @@ fun (_, _, _, program) ->
@@ -394,7 +413,8 @@ let lint_cmd =
           carrying a concrete witness (offending atom, dependency cycle, \
           sticky-marking trace)."
        ~exits)
-    Term.(const run $ file_arg $ format $ deny $ obs_term $ verbose_arg)
+    Term.(
+      const run $ file_arg $ format $ deny $ eval_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- model ----------------------------- *)
 
@@ -402,7 +422,7 @@ let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth strategy budget no_preflight obs verbose =
+  let run file depth strategy eval budget no_preflight obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"model" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -416,6 +436,7 @@ let model_cmd =
             chase_depth = depth;
             budget;
             strategy;
+            eval;
             preflight = not no_preflight;
           }
         in
@@ -448,13 +469,13 @@ let model_cmd =
           rules avoiding the query."
        ~exits)
     Term.(
-      const run $ file_arg $ depth $ strategy_term $ budget_term
+      const run $ file_arg $ depth $ strategy_term $ eval_term $ budget_term
       $ no_preflight_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file strategy budget no_preflight obs verbose =
+  let run file strategy eval budget no_preflight obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"judge" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -469,6 +490,7 @@ let judge_cmd =
               { Finitemodel.Pipeline.default_params with
                 budget;
                 strategy;
+                eval;
                 preflight = not no_preflight;
               };
           }
@@ -491,8 +513,8 @@ let judge_cmd =
           the file's (rules, facts, query) triple."
        ~exits)
     Term.(
-      const run $ file_arg $ strategy_term $ budget_term $ no_preflight_term
-      $ obs_term $ verbose_arg)
+      const run $ file_arg $ strategy_term $ eval_term $ budget_term
+      $ no_preflight_term $ obs_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -504,11 +526,13 @@ let dot_cmd =
   let rounds =
     Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Chase rounds before export.")
   in
-  let run file out rounds strategy budget obs verbose =
+  let run file out rounds strategy eval budget obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"dot" obs @@ fun () ->
     with_program file @@ fun (theory, db, _, _) ->
-    let r = Chase.Chase.run ~strategy ?budget ~max_rounds:rounds theory db in
+    let r =
+      Chase.Chase.run ~strategy ~eval ?budget ~max_rounds:rounds theory db
+    in
     let dot = Structure.Dot.to_string r.Chase.Chase.instance in
     (match out with
     | None -> print_string dot
@@ -521,8 +545,8 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Chase the program and export the result as GraphViz."
        ~exits)
     Term.(
-      const run $ file_arg $ out $ rounds $ strategy_term $ budget_term
-      $ obs_term $ verbose_arg)
+      const run $ file_arg $ out $ rounds $ strategy_term $ eval_term
+      $ budget_term $ obs_term $ verbose_arg)
 
 (* ------------------------------ zoo ------------------------------ *)
 
@@ -536,7 +560,7 @@ let zoo_cmd =
            ~doc:"Print the entry as a parseable program and exit; feed the \
                  result back through $(b,bddfc lint) or $(b,bddfc model).")
   in
-  let run name dump strategy budget no_preflight obs verbose =
+  let run name dump strategy eval budget no_preflight obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"zoo" obs @@ fun () ->
     match name with
@@ -570,6 +594,7 @@ let zoo_cmd =
               { Finitemodel.Pipeline.default_params with
                 budget;
                 strategy;
+                eval;
                 preflight = not no_preflight;
               }
             in
@@ -592,7 +617,7 @@ let zoo_cmd =
   in
   Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
     Term.(
-      const run $ entry_name $ dump $ strategy_term $ budget_term
+      const run $ entry_name $ dump $ strategy_term $ eval_term $ budget_term
       $ no_preflight_term $ obs_term $ verbose_arg)
 
 let main =

@@ -113,12 +113,12 @@ let instantiate inst binding fresh atom =
    [exists Z. head] under the frontier part of [binding]?  Under the
    semi-naive strategy [snapshot] is the live instance and [upto] trims
    the join to the committed prefix (births < round). *)
-let witness_exists ?upto snapshot rule binding =
+let witness_exists ?upto ?eval snapshot rule binding =
   let frontier = Rule.frontier rule in
   let init =
     Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
   in
-  Eval.satisfiable ~init ?upto snapshot (Rule.head rule)
+  Eval.satisfiable ~init ?upto ?engine:eval snapshot (Rule.head rule)
 
 (* Key identifying the demanded head instance: predicate names and frontier
    arguments, with existential slots anonymized.  Two triggers demanding
@@ -151,7 +151,7 @@ type round_stats = {
    New facts are stamped with [round_no] as their birth.  Fresh elements
    and added facts are charged to [budget]; a trip mid-round leaves a
    partial round behind (best effort). *)
-let round ?(variant = Restricted) ?(strategy = Seminaive)
+let round ?(variant = Restricted) ?(strategy = Seminaive) ?eval
     ?(datalog_only = false) ?fired ~(budget : Budget.t) ~round_no theory inst
     =
   let snapshot, upto =
@@ -176,10 +176,10 @@ let round ?(variant = Restricted) ?(strategy = Seminaive)
      was witness-blocked) in an earlier round. *)
   let iter_bindings rule yield =
     match strategy with
-    | Naive -> Eval.iter_solutions snapshot (Rule.body rule) yield
+    | Naive -> Eval.iter_solutions ?engine:eval snapshot (Rule.body rule) yield
     | Seminaive ->
-        Eval.iter_solutions_delta ~since:(round_no - 1) ~upto:round_no inst
-          (Rule.body rule) yield
+        Eval.iter_solutions_delta ~since:(round_no - 1) ~upto:round_no
+          ?engine:eval inst (Rule.body rule) yield
   in
   (* [fired] persists across rounds (needed for the oblivious variant,
      where a trigger must fire exactly once ever); without it the table is
@@ -210,7 +210,8 @@ let round ?(variant = Restricted) ?(strategy = Seminaive)
               let fire =
                 match variant with
                 | Oblivious -> true
-                | Restricted -> not (witness_exists ?upto snapshot rule binding)
+                | Restricted ->
+                    not (witness_exists ?upto ?eval snapshot rule binding)
               in
               let key =
                 match variant with
@@ -289,7 +290,7 @@ let effective_budget ?budget ?max_rounds ?max_elements () =
 let strategy_tag = function Naive -> "naive" | Seminaive -> "seminaive"
 let variant_tag = function Restricted -> "restricted" | Oblivious -> "oblivious"
 
-let run ?(variant = Restricted) ?(strategy = Seminaive)
+let run ?(variant = Restricted) ?(strategy = Seminaive) ?eval
     ?(datalog_only = false) ?watch ?budget ?max_rounds ?max_elements theory
     base =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
@@ -298,7 +299,9 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
   Obs.Trace.span "chase.run" @@ fun () ->
   if Obs.Trace.enabled () then begin
     Obs.Trace.attr "strategy" (Obs.Str (strategy_tag strategy));
-    Obs.Trace.attr "variant" (Obs.Str (variant_tag variant))
+    Obs.Trace.attr "variant" (Obs.Str (variant_tag variant));
+    Obs.Trace.attr "eval"
+      (Obs.Str (Eval.engine_tag (Option.value eval ~default:Eval.Compiled)))
   end;
   let inst = Instance.copy base in
   (* the working copy starts a fresh round numbering: stale birth stamps
@@ -328,7 +331,7 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
     Budget.charge budget Budget.Rounds 1;
     let probes0 = Eval.probe_count () in
     let added, stats =
-      round ~variant ~strategy ~datalog_only
+      round ~variant ~strategy ?eval ~datalog_only
         ?fired:(if variant = Oblivious then Some fired else None)
         ~budget ~round_no:(i + 1) theory inst
     in
@@ -377,21 +380,24 @@ let run ?(variant = Restricted) ?(strategy = Seminaive)
    hardcoded 1M-element local ceiling on top of the caller's budget; now
    the ceiling exists only as the no-governor default, like the other
    entry points).  Element fuel always applies — never unbounded. *)
-let run_depth ?(variant = Restricted) ?strategy ?budget ~depth theory base =
+let run_depth ?(variant = Restricted) ?strategy ?eval ?budget ~depth theory
+    base =
   Obs.Trace.span "chase.run_depth" @@ fun () ->
   if Obs.Trace.enabled () then Obs.Trace.attr "depth" (Obs.Int depth);
   match budget with
-  | Some _ -> run ~variant ?strategy ?budget ~max_rounds:depth theory base
+  | Some _ ->
+      run ~variant ?strategy ?eval ?budget ~max_rounds:depth theory base
   | None ->
-      run ~variant ?strategy ~max_rounds:depth ~max_elements:1_000_000 theory
-        base
+      run ~variant ?strategy ?eval ~max_rounds:depth ~max_elements:1_000_000
+        theory base
 
 (* Datalog saturation: chase with the datalog rules only.  On a finite
    instance this always terminates (no new elements are created) unless
    the governor's deadline trips first. *)
-let saturate_datalog ?strategy ?budget ?(max_rounds = 10_000) theory base =
+let saturate_datalog ?strategy ?eval ?budget ?(max_rounds = 10_000) theory
+    base =
   Obs.Trace.span "chase.saturate_datalog" @@ fun () ->
-  run ~datalog_only:true ?strategy ?budget ~max_rounds theory base
+  run ~datalog_only:true ?strategy ?eval ?budget ~max_rounds theory base
 
 (* Certain answering by chase: does Chase(D, T) |= q, and at which depth?
    Checks the query after every round. *)
@@ -401,21 +407,21 @@ type certainty =
   | Unknown of Budget.resource * int
       (* this budget exhausted after that many rounds *)
 
-let certain ?strategy ?budget ?max_rounds ?max_elements theory base q =
+let certain ?strategy ?eval ?budget ?max_rounds ?max_elements theory base q =
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   Obs.Trace.span "chase.certain" @@ fun () ->
   let inst = Instance.copy base in
   Instance.reset_fact_births inst;
   let rounds = ref 0 in
   try
-    if Eval.holds inst q then Entailed 0
+    if Eval.holds ?engine:eval inst q then Entailed 0
     else begin
       let rec go i =
         Budget.check_deadline budget;
         Budget.charge budget Budget.Rounds 1;
         let probes0 = Eval.probe_count () in
         let added, stats =
-          round ?strategy ~budget ~round_no:(i + 1) theory inst
+          round ?strategy ?eval ~budget ~round_no:(i + 1) theory inst
         in
         rounds := i + 1;
         if Obs.Trace.enabled () then
@@ -426,7 +432,7 @@ let certain ?strategy ?budget ?max_rounds ?max_elements theory base q =
               ("nulls_invented", Obs.Int stats.nulls);
               ("join_probes", Obs.Int (Eval.probe_count () - probes0));
             ];
-        if Eval.holds inst q then Entailed (i + 1)
+        if Eval.holds ?engine:eval inst q then Entailed (i + 1)
         else if added = 0 then Not_entailed
         else go (i + 1)
       in

@@ -66,6 +66,7 @@ val instantiate :
 val run :
   ?variant:variant ->
   ?strategy:strategy ->
+  ?eval:Eval.engine ->
   ?datalog_only:bool ->
   ?watch:Pred.t ->
   ?budget:Budget.t ->
@@ -78,15 +79,15 @@ val run :
     recording the round in [watch_round]. *)
 
 val run_depth :
-  ?variant:variant -> ?strategy:strategy -> ?budget:Budget.t -> depth:int ->
-  Theory.t -> Instance.t -> result
+  ?variant:variant -> ?strategy:strategy -> ?eval:Eval.engine ->
+  ?budget:Budget.t -> depth:int -> Theory.t -> Instance.t -> result
 (** [Chase^depth(D, T)].  Element fuel always applies: the governor's
     pool when one is supplied, a generous default otherwise — never
     unbounded, and never a hardcoded ceiling stacked on the governor. *)
 
 val saturate_datalog :
-  ?strategy:strategy -> ?budget:Budget.t -> ?max_rounds:int ->
-  Theory.t -> Instance.t -> result
+  ?strategy:strategy -> ?eval:Eval.engine -> ?budget:Budget.t ->
+  ?max_rounds:int -> Theory.t -> Instance.t -> result
 (** Fixpoint of the datalog rules only; never creates elements. *)
 
 type certainty =
@@ -96,6 +97,7 @@ type certainty =
       (** this budget exhausted after that many rounds *)
 
 val certain :
-  ?strategy:strategy -> ?budget:Budget.t -> ?max_rounds:int ->
-  ?max_elements:int -> Theory.t -> Instance.t -> Cq.t -> certainty
+  ?strategy:strategy -> ?eval:Eval.engine -> ?budget:Budget.t ->
+  ?max_rounds:int -> ?max_elements:int -> Theory.t -> Instance.t -> Cq.t ->
+  certainty
 (** Certain answering: does [Chase(D, T) |= q]? *)

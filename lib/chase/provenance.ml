@@ -66,8 +66,8 @@ let m_facts = Obs.Metrics.counter "chase.facts_added"
 let m_nulls = Obs.Metrics.counter "chase.nulls_invented"
 let m_replays = Obs.Metrics.counter "provenance.replays"
 
-let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
-    theory base =
+let run ?(strategy = Chase.Seminaive) ?eval ?budget ?max_rounds
+    ?max_elements theory base =
   let budget =
     match budget with
     | Some b -> Budget.cap ?rounds:max_rounds ?elements:max_elements b
@@ -110,10 +110,11 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
       in
       let iter_bindings rule yield =
         match strategy with
-        | Chase.Naive -> Eval.iter_solutions snapshot (Rule.body rule) yield
+        | Chase.Naive ->
+            Eval.iter_solutions ?engine:eval snapshot (Rule.body rule) yield
         | Chase.Seminaive ->
-            Eval.iter_solutions_delta ~since:i ~upto:round_no inst
-              (Rule.body rule) yield
+            Eval.iter_solutions_delta ~since:i ~upto:round_no ?engine:eval
+              inst (Rule.body rule) yield
       in
       let added = ref 0 in
       let demanded = Hashtbl.create 32 in
@@ -140,7 +141,8 @@ let run ?(strategy = Chase.Seminaive) ?budget ?max_rounds ?max_elements
                   Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
                 in
                 let satisfied =
-                  Eval.satisfiable ~init ?upto snapshot (Rule.head rule)
+                  Eval.satisfiable ~init ?upto ?engine:eval snapshot
+                    (Rule.head rule)
                 in
                 let key =
                   Rule.name rule ^ "#"

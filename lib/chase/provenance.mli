@@ -20,8 +20,9 @@ type t = {
 }
 
 val run :
-  ?strategy:Chase.strategy -> ?budget:Budget.t -> ?max_rounds:int ->
-  ?max_elements:int -> Theory.t -> Instance.t -> t
+  ?strategy:Chase.strategy -> ?eval:Bddfc_hom.Eval.engine ->
+  ?budget:Budget.t -> ?max_rounds:int -> ?max_elements:int ->
+  Theory.t -> Instance.t -> t
 (** Replay the chase, recording reasons.  [strategy] selects the same
     naive/semi-naive round evaluation as {!Chase.run} (default
     [Seminaive]); the recorded reasons are identical either way up to

@@ -68,6 +68,7 @@ let judge ?(budget = default_budget) theory db query =
   let kappa =
     if Theory.all_single_head theory then
       Rewriting.Rewrite.kappa ?budget:governor
+        ~eval:budget.pipeline_params.Pipeline.eval
         ~max_disjuncts:budget.pipeline_params.Pipeline.rewrite_max_disjuncts
         ~max_steps:budget.pipeline_params.Pipeline.rewrite_max_steps theory
     else
@@ -99,6 +100,7 @@ let judge ?(budget = default_budget) theory db query =
       match
         Naive.search ?budget:governor
           ~strategy:budget.pipeline_params.Pipeline.strategy
+          ~eval:budget.pipeline_params.Pipeline.eval
           ~params:budget.search_params theory db query
       with
       | Naive.Found m ->
@@ -108,6 +110,7 @@ let judge ?(budget = default_budget) theory db query =
       | Naive.Exhausted | Naive.Budget_out _ -> (
           match
             Naive.exhaustive_absence ?budget:governor
+              ~eval:budget.pipeline_params.Pipeline.eval
               ~max_candidates:budget.exhaustive_candidates
               ~max_extra:budget.exhaustive_extra theory db query
           with

@@ -14,16 +14,19 @@ type violation = {
 
 exception Enough
 
-let violations ?(limit = 10) theory inst =
+let violations ?(limit = 10) ?eval theory inst =
   let found = ref [] in
   let count = ref 0 in
   (try
      List.iter
        (fun rule ->
-         Eval.iter_solutions inst (Rule.body rule) (fun binding ->
+         Eval.iter_solutions ?engine:eval inst (Rule.body rule)
+           (fun binding ->
              let frontier = Rule.frontier rule in
              let init = Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding in
-             let ok = Eval.satisfiable ~init inst (Rule.head rule) in
+             let ok =
+               Eval.satisfiable ~init ?engine:eval inst (Rule.head rule)
+             in
              if not ok then begin
                found := { rule; binding = Smap.bindings binding } :: !found;
                incr count;
@@ -33,7 +36,7 @@ let violations ?(limit = 10) theory inst =
    with Enough -> ());
   List.rev !found
 
-let is_model theory inst = violations ~limit:1 theory inst = []
+let is_model ?eval theory inst = violations ~limit:1 ?eval theory inst = []
 
 (* Does the instance contain every fact of [d]?  Element ids need not
    agree; constants are matched by name and [d]'s facts must embed

@@ -10,8 +10,11 @@ type violation = {
   binding : (string * Element.id) list;
 }
 
-val violations : ?limit:int -> Theory.t -> Instance.t -> violation list
-val is_model : Theory.t -> Instance.t -> bool
+val violations :
+  ?limit:int -> ?eval:Bddfc_hom.Eval.engine -> Theory.t -> Instance.t ->
+  violation list
+
+val is_model : ?eval:Bddfc_hom.Eval.engine -> Theory.t -> Instance.t -> bool
 
 val contains_database : db:Instance.t -> Instance.t -> bool
 (** Does the instance contain every fact of [db]?  Constants are matched

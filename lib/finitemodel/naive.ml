@@ -49,18 +49,22 @@ let default_search_params = { max_size = 12; max_nodes = 20_000; max_facts = 400
 exception Got_model of Instance.t
 
 (* First unsatisfied existential trigger, if any. *)
-let find_trigger theory inst =
+let find_trigger ?eval theory inst =
   let found = ref None in
   (try
      List.iter
        (fun rule ->
          if Rule.is_existential rule then
-           Eval.iter_solutions inst (Rule.body rule) (fun binding ->
+           Eval.iter_solutions ?engine:eval inst (Rule.body rule)
+             (fun binding ->
                let frontier = Rule.frontier rule in
                let init =
                  Smap.filter (fun x _ -> Rule.SS.mem x frontier) binding
                in
-               if not (Eval.satisfiable ~init inst (Rule.head rule)) then begin
+               if
+                 not
+                   (Eval.satisfiable ~init ?engine:eval inst (Rule.head rule))
+               then begin
                  found := Some (rule, binding);
                  raise Exit
                end))
@@ -74,8 +78,8 @@ let rec all_assignments elements = function
       let rest = all_assignments elements zs in
       List.concat_map (fun e -> List.map (fun a -> (z, e) :: a) rest) elements
 
-let search ?budget ?strategy ?(params = default_search_params) theory db
-    (query : Cq.t) =
+let search ?budget ?strategy ?eval ?(params = default_search_params) theory
+    db (query : Cq.t) =
   let budget =
     match budget with
     | Some b -> Budget.cap ~nodes:params.max_nodes b
@@ -95,7 +99,7 @@ let search ?budget ?strategy ?(params = default_search_params) theory db
     Obs.Metrics.incr m_nodes;
     Budget.check_deadline budget;
     Budget.charge budget Budget.Nodes 1;
-    let sat = Chase.saturate_datalog ?strategy ~budget theory inst in
+    let sat = Chase.saturate_datalog ?strategy ?eval ~budget theory inst in
     let inst = sat.Chase.instance in
     if not (Chase.is_model sat) then begin
       (* incomplete saturation cannot support a trigger search on this
@@ -105,13 +109,13 @@ let search ?budget ?strategy ?(params = default_search_params) theory db
       | _ -> note Budget.Rounds);
       complete := false
     end
-    else if Eval.holds inst query then () (* dead branch *)
+    else if Eval.holds ?engine:eval inst query then () (* dead branch *)
     else if Instance.num_facts inst > params.max_facts then begin
       note Budget.Facts;
       complete := false
     end
     else
-      match find_trigger theory inst with
+      match find_trigger ?eval theory inst with
       | None -> raise (Got_model inst)
       | Some (rule, binding) ->
           let zs = Rule.SS.elements (Rule.existential_vars rule) in
@@ -203,8 +207,8 @@ let rec tuples elements k =
 
 (* Enumerate every superset of D over D's elements plus [max_extra] fresh
    ones, and test each against the theory and the query. *)
-let exhaustive_absence ?budget ?(max_candidates = 24) ~max_extra theory db
-    query =
+let exhaustive_absence ?budget ?eval ?(max_candidates = 24) ~max_extra
+    theory db query =
   let budget = Option.value budget ~default:Budget.unlimited in
   Obs.Trace.span "naive.exhaustive_absence" @@ fun () ->
   let base = Instance.copy db in
@@ -242,8 +246,8 @@ let exhaustive_absence ?budget ?(max_candidates = 24) ~max_extra theory db
            if mask land (1 lsl i) <> 0 then ignore (Instance.add_fact inst arr.(i))
          done;
          if
-           Model_check.is_model theory inst
-           && not (Eval.holds inst query)
+           Model_check.is_model ?eval theory inst
+           && not (Eval.holds ?engine:eval inst query)
          then begin
            result := Counter_model inst;
            raise Exit

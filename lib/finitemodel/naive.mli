@@ -35,7 +35,7 @@ val default_search_params : search_params
 
 val search :
   ?budget:Budget.t -> ?strategy:Bddfc_chase.Chase.strategy ->
-  ?params:search_params ->
+  ?eval:Bddfc_hom.Eval.engine -> ?params:search_params ->
   Theory.t -> Instance.t -> Cq.t -> search_result
 (** [strategy] selects naive or semi-naive evaluation for the datalog
     saturation inside the model-check loop (default [Seminaive]). *)
@@ -48,5 +48,5 @@ type absence_result =
       (** a budget tripped mid-enumeration: nothing proved *)
 
 val exhaustive_absence :
-  ?budget:Budget.t -> ?max_candidates:int -> max_extra:int ->
-  Theory.t -> Instance.t -> Cq.t -> absence_result
+  ?budget:Budget.t -> ?eval:Bddfc_hom.Eval.engine -> ?max_candidates:int ->
+  max_extra:int -> Theory.t -> Instance.t -> Cq.t -> absence_result

@@ -42,6 +42,7 @@ type params = {
   saturation_rounds : int;
   budget : Budget.t option; (* governor shared by every stage *)
   strategy : Chase.strategy; (* evaluation strategy for every chase *)
+  eval : Eval.engine; (* join engine for every evaluation stage *)
   preflight : bool;
       (* before the truncated schedule, test the normalized theory for
          weak/joint acyclicity; a positive proof lets the chase run
@@ -62,6 +63,7 @@ let default_params =
     saturation_rounds = 10_000;
     budget = None;
     strategy = Chase.Seminaive;
+    eval = Eval.Compiled;
     preflight = true;
   }
 
@@ -249,10 +251,10 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
          reach a fixpoint, and the caller's budget is deadline-only. *)
       let chase =
         if terminating then
-          Chase.run ~strategy:params.strategy ?budget
+          Chase.run ~strategy:params.strategy ~eval:params.eval ?budget
             ~watch:hidden.Normalize.query_pred t2 db
         else
-          Chase.run ~strategy:params.strategy ?budget
+          Chase.run ~strategy:params.strategy ~eval:params.eval ?budget
             ~watch:hidden.Normalize.query_pred ~max_rounds:depth
             ~max_elements:params.max_chase_elements t2 db
       in
@@ -326,7 +328,8 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
         in
         (* -------- step 5: kappa and coloring -------- *)
         let kap =
-          Rewrite.kappa ?budget ~max_disjuncts:params.rewrite_max_disjuncts
+          Rewrite.kappa ?budget ~eval:params.eval
+            ~max_disjuncts:params.rewrite_max_disjuncts
             ~max_steps:params.rewrite_max_steps t2
         in
         let m =
@@ -364,8 +367,9 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
           in
           let m0 = Instance.copy quotient.Quotient.quotient in
           let sat =
-            Chase.saturate_datalog ~strategy:params.strategy ?budget
-              ~max_rounds:params.saturation_rounds t2 m0
+            Chase.saturate_datalog ~strategy:params.strategy
+              ~eval:params.eval ?budget ~max_rounds:params.saturation_rounds
+              t2 m0
           in
           let m1 = sat.Chase.instance in
           let fail reason =
@@ -380,9 +384,10 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
           else if
             Instance.facts_with_pred m1 hidden.Normalize.query_pred <> []
           then fail "hidden predicate derived after saturation"
-          else if Eval.holds m1 query then fail "query satisfied in quotient"
+          else if Eval.holds ~engine:params.eval m1 query then
+            fail "query satisfied in quotient"
           else begin
-            match Model_check.violations ~limit:1 t2 m1 with
+            match Model_check.violations ~limit:1 ~eval:params.eval t2 m1 with
             | _ :: _ -> fail "existential rule unsatisfied (Lemma 5 failed)"
             | [] ->
                 let model = original_signature_model theory db m1 in

@@ -30,6 +30,8 @@ type params = {
   budget : Budget.t option; (** governor threaded through every stage *)
   strategy : Bddfc_chase.Chase.strategy;
       (** evaluation strategy for every chase stage (default [Seminaive]) *)
+  eval : Bddfc_hom.Eval.engine;
+      (** join engine for every evaluation stage (default [Compiled]) *)
   preflight : bool;
       (** test the normalized theory for weak/joint acyclicity first
           (default [true]): a positive proof lets the chase run fuel-free

@@ -16,7 +16,7 @@ let frozen_instance (q : Cq.t) =
 (* [subsumes ~general ~specific]: does [general] hold whenever [specific]
    does (i.e. specific is contained in general)?  Both must have the same
    answer arity. *)
-let subsumes ~(general : Cq.t) ~(specific : Cq.t) =
+let subsumes ?engine ~(general : Cq.t) (specific : Cq.t) =
   if List.length (Cq.answer general) <> List.length (Cq.answer specific) then
     false
   else begin
@@ -32,15 +32,15 @@ let subsumes ~(general : Cq.t) ~(specific : Cq.t) =
           | _ -> acc)
         Smap.empty (Cq.answer general) (Cq.answer specific)
     in
-    Eval.satisfiable ~init inst (Cq.body general)
+    Eval.satisfiable ~init ?engine inst (Cq.body general)
   end
 
-let equivalent q1 q2 =
-  subsumes ~general:q1 ~specific:q2 && subsumes ~general:q2 ~specific:q1
+let equivalent ?engine q1 q2 =
+  subsumes ?engine ~general:q1 q2 && subsumes ?engine ~general:q2 q1
 
 (* Core (minimization) of a CQ: remove atoms whose deletion preserves
    equivalence.  The result is homomorphically equivalent to the input. *)
-let minimize (q : Cq.t) =
+let minimize ?engine (q : Cq.t) =
   let removable body a =
     let body' = List.filter (fun x -> x != a) body in
     if body' = [] then false
@@ -51,8 +51,7 @@ let minimize (q : Cq.t) =
           (Cq.answer q)
       in
       keep_answers
-      && subsumes ~general:q
-           ~specific:(Cq.make ~answer:(Cq.answer q) body')
+      && subsumes ?engine ~general:q (Cq.make ~answer:(Cq.answer q) body')
   in
   let rec go body =
     match List.find_opt (removable body) body with
@@ -62,13 +61,13 @@ let minimize (q : Cq.t) =
   Cq.make ~answer:(Cq.answer q) (go (Cq.body q))
 
 (* UCQ-level subsumption pruning: keep only maximal disjuncts. *)
-let prune_ucq (qs : Cq.t list) =
+let prune_ucq ?engine (qs : Cq.t list) =
   let rec go kept = function
     | [] -> List.rev kept
     | q :: rest ->
         let dominated =
-          List.exists (fun q' -> subsumes ~general:q' ~specific:q) kept
-          || List.exists (fun q' -> subsumes ~general:q' ~specific:q) rest
+          List.exists (fun q' -> subsumes ?engine ~general:q' q) kept
+          || List.exists (fun q' -> subsumes ?engine ~general:q' q) rest
         in
         if dominated then go kept rest else go (q :: kept) rest
   in

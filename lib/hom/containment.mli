@@ -7,16 +7,16 @@ val frozen_instance : Cq.t -> Instance.t * Subst.t
 (** The canonical instance of a query: variables frozen into fresh
     constants.  The substitution records the freezing. *)
 
-val subsumes : general:Cq.t -> specific:Cq.t -> bool
-(** [subsumes ~general ~specific]: whenever [specific] holds, so does
+val subsumes : ?engine:Eval.engine -> general:Cq.t -> Cq.t -> bool
+(** [subsumes ~general specific]: whenever [specific] holds, so does
     [general] — i.e. [specific] is contained in [general].  Answer arities
     must match; answer variables correspond positionally. *)
 
-val equivalent : Cq.t -> Cq.t -> bool
+val equivalent : ?engine:Eval.engine -> Cq.t -> Cq.t -> bool
 
-val minimize : Cq.t -> Cq.t
+val minimize : ?engine:Eval.engine -> Cq.t -> Cq.t
 (** Remove redundant atoms; the result is equivalent to the input (the
     query core up to atom deletion). *)
 
-val prune_ucq : Cq.t list -> Cq.t list
+val prune_ucq : ?engine:Eval.engine -> Cq.t list -> Cq.t list
 (** Drop disjuncts contained in another disjunct. *)

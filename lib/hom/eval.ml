@@ -2,6 +2,16 @@
    greedy most-constrained-atom-first ordering, using the instance's
    (predicate, position, element) index.
 
+   Two engines produce the same solution sets:
+
+     - [Compiled] (default): per-body query plans from [Plan] — integer
+       registers instead of [Smap] bindings, O(1) cardinality scoring,
+       allocation-free probes off the index buckets, plans cached across
+       chase rounds.
+     - [Interp]: the original interpreter, kept verbatim as a
+       differential oracle (test/test_differential.ml holds the two to
+       solution-set equality over the zoo and fuzzed workloads).
+
    Every atom of a join carries a *birth window* [since, upto): only facts
    whose birth round lies in the window can match it.  The plain entry
    points use the full window (or a shared [?upto] bound, which evaluates
@@ -17,23 +27,35 @@ open Bddfc_structure
 
 type binding = Element.id Smap.t
 
+type engine =
+  | Compiled
+  | Interp
+
+let engine_tag = function Compiled -> "compiled" | Interp -> "interp"
+
 exception Found
 
 (* Join-probe instrumentation: one probe = one candidate fact tried
-   against a partial binding.  The counter lives in the process-wide
-   metrics registry as [eval.join_probes] (the bench harness and the
-   chase's per-round telemetry both read it); the legacy entry points
-   below delegate to the registry handle, keeping the counter global and
-   monotonically increasing between resets. *)
+   against a partial binding, under either engine.  The counters live in
+   the process-wide metrics registry ([eval.join_probes], and
+   [eval.index_ops] for probe-equivalent index touches — materialized
+   candidates here, cardinality reads plus probes in [Plan]); the legacy
+   entry points below delegate to the registry handles, keeping the
+   counters global and monotonically increasing between resets. *)
 module Obs = Bddfc_obs.Obs
 
 let probes = Obs.Metrics.counter "eval.join_probes"
+let index_ops = Obs.Metrics.counter "eval.index_ops"
 let reset_probes () = Obs.Metrics.reset_counter probes
 let probe_count () = Obs.Metrics.value probes
 
 type window = { w_since : int; w_upto : int option }
 
 let full_window = { w_since = 0; w_upto = None }
+
+(* ---------------------------------------------------------------- *)
+(* The interpreted engine (differential oracle)                     *)
+(* ---------------------------------------------------------------- *)
 
 (* Resolve an atom's arguments under a binding: [Ok ids] when fully ground,
    otherwise the list of (position, resolution) pairs. *)
@@ -78,6 +100,7 @@ let candidates inst binding (atom, w) =
                   inst p pos id
               in
               let n = List.length l in
+              Obs.Metrics.add index_ops n;
               (match !best with
               | Some (m, _) when m <= n -> ()
               | _ -> best := Some (n, l))
@@ -87,8 +110,12 @@ let candidates inst binding (atom, w) =
         match !best with
         | Some (_, l) -> l
         | None ->
-            Instance.facts_with_pred_window ~since:w.w_since ?upto:w.w_upto
-              inst p
+            let l =
+              Instance.facts_with_pred_window ~since:w.w_since ?upto:w.w_upto
+                inst p
+            in
+            Obs.Metrics.add index_ops (List.length l);
+            l
       in
       pool
 
@@ -111,11 +138,10 @@ let extend inst binding atom f =
   in
   go binding (Atom.args atom) (Array.to_list (Fact.args f))
 
-(* Estimated branching of an atom under a binding (for atom ordering). *)
-let branching inst binding watom =
-  List.length (candidates inst binding watom)
-
-(* The core join over windowed atoms. *)
+(* The core interpreted join over windowed atoms.  Each remaining atom's
+   candidate list is materialized once per node — the list that scores an
+   atom is the list the winner iterates (the historical [branching]
+   helper recomputed it). *)
 let iter_solutions_windowed ?(init = Smap.empty) inst watoms yield =
   let rec go binding remaining =
     match remaining with
@@ -123,13 +149,20 @@ let iter_solutions_windowed ?(init = Smap.empty) inst watoms yield =
     | _ ->
         (* most-constrained atom first *)
         let scored =
-          List.map (fun wa -> (branching inst binding wa, wa)) remaining
+          List.map
+            (fun wa ->
+              let l = candidates inst binding wa in
+              (List.length l, l, wa))
+            remaining
         in
-        let best_n, best =
-          List.fold_left
-            (fun ((bn, _) as acc) ((n, _) as cand) ->
-              if n < bn then cand else acc)
-            (List.hd scored) (List.tl scored)
+        let best_n, best_l, best =
+          match scored with
+          | first :: rest ->
+              List.fold_left
+                (fun ((bn, _, _) as acc) ((n, _, _) as cand) ->
+                  if n < bn then cand else acc)
+                first rest
+          | [] -> assert false
         in
         if best_n = 0 then ()
         else begin
@@ -140,60 +173,119 @@ let iter_solutions_windowed ?(init = Smap.empty) inst watoms yield =
               match extend inst binding (fst best) f with
               | Some b -> go b rest
               | None -> ())
-            (candidates inst binding best)
+            best_l
         end
   in
   go init watoms
 
-let iter_solutions ?(init = Smap.empty) ?upto inst atoms yield =
-  let w = { full_window with w_upto = upto } in
-  iter_solutions_windowed ~init inst (List.map (fun a -> (a, w)) atoms) yield
+(* ---------------------------------------------------------------- *)
+(* The compiled engine                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Convert a solved register environment back to a named binding.  Only
+   yields allocate (solutions are vastly outnumbered by probes); the
+   init binding is the base so variables outside the body — allowed in
+   [?init] — survive into the solution. *)
+let binding_of_env plan init env =
+  let b = ref init in
+  for r = 0 to Plan.nvars plan - 1 do
+    if env.(r) >= 0 then b := Smap.add (Plan.var_name plan r) env.(r) !b
+  done;
+  !b
+
+let iter_compiled ?(init = Smap.empty) ?upto inst atoms yield =
+  let plan = Plan.of_atoms atoms in
+  Plan.exec ~init ?upto inst plan (fun env ->
+      yield (binding_of_env plan init env))
+
+let iter_compiled_delta ?(init = Smap.empty) ~since ?upto inst atoms yield =
+  let plan = Plan.of_atoms atoms in
+  let n = List.length atoms in
+  let u = match upto with None -> max_int | Some u -> u in
+  let yield env = yield (binding_of_env plan init env) in
+  let wsince = Array.make (max n 1) 0 in
+  let wupto = Array.make (max n 1) u in
+  for k = 0 to n - 1 do
+    (* pass k: atom k pinned to the delta [since, u), atoms before k to
+       the pre-delta prefix [0, since), atoms after k to [0, u) *)
+    for i = 0 to n - 1 do
+      if i = k then begin
+        wsince.(i) <- since;
+        wupto.(i) <- u
+      end
+      else if i < k then begin
+        wsince.(i) <- 0;
+        wupto.(i) <- since
+      end
+      else begin
+        wsince.(i) <- 0;
+        wupto.(i) <- u
+      end
+    done;
+    Plan.exec_windowed ~init ~wsince ~wupto inst plan yield
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Engine-dispatching entry points                                  *)
+(* ---------------------------------------------------------------- *)
+
+let iter_solutions ?init ?upto ?(engine = Compiled) inst atoms yield =
+  match engine with
+  | Compiled -> iter_compiled ?init ?upto inst atoms yield
+  | Interp ->
+      let w = { full_window with w_upto = upto } in
+      iter_solutions_windowed ?init inst
+        (List.map (fun a -> (a, w)) atoms)
+        yield
 
 (* Semi-naive enumeration: exactly the bindings of [iter_solutions ?upto]
    that touch at least one fact born in [since, upto), each once.  The
    k-th pass pins atom k to the delta, atoms before k to the pre-delta
    prefix and atoms after k to the full window, so a binding is produced
    only by the pass of its first delta atom. *)
-let iter_solutions_delta ?(init = Smap.empty) ~since ?upto inst atoms yield =
-  if since <= 0 then iter_solutions ~init ?upto inst atoms yield
-  else begin
-    let delta = { w_since = since; w_upto = upto } in
-    let old = { w_since = 0; w_upto = Some since } in
-    let all = { w_since = 0; w_upto = upto } in
-    List.iteri
-      (fun k _ ->
-        let watoms =
-          List.mapi
-            (fun i a ->
-              if i = k then (a, delta)
-              else if i < k then (a, old)
-              else (a, all))
-            atoms
-        in
-        iter_solutions_windowed ~init inst watoms yield)
-      atoms
-  end
+let iter_solutions_delta ?init ~since ?upto ?(engine = Compiled) inst atoms
+    yield =
+  if since <= 0 then iter_solutions ?init ?upto ~engine inst atoms yield
+  else
+    match engine with
+    | Compiled -> iter_compiled_delta ?init ~since ?upto inst atoms yield
+    | Interp ->
+        let delta = { w_since = since; w_upto = upto } in
+        let old = { w_since = 0; w_upto = Some since } in
+        let all = { w_since = 0; w_upto = upto } in
+        List.iteri
+          (fun k _ ->
+            let watoms =
+              List.mapi
+                (fun i a ->
+                  if i = k then (a, delta)
+                  else if i < k then (a, old)
+                  else (a, all))
+                atoms
+            in
+            iter_solutions_windowed ?init inst watoms yield)
+          atoms
 
-let first_solution ?(init = Smap.empty) ?upto inst atoms =
+let first_solution ?init ?upto ?engine inst atoms =
   let result = ref None in
   (try
-     iter_solutions ~init ?upto inst atoms (fun b ->
+     iter_solutions ?init ?upto ?engine inst atoms (fun b ->
          result := Some b;
          raise Found)
    with Found -> ());
   !result
 
-let satisfiable ?(init = Smap.empty) ?upto inst atoms =
-  first_solution ~init ?upto inst atoms <> None
+let satisfiable ?init ?upto ?engine inst atoms =
+  first_solution ?init ?upto ?engine inst atoms <> None
 
-let holds ?(init = Smap.empty) ?upto inst (q : Cq.t) =
-  satisfiable ~init ?upto inst (Cq.body q)
+let holds ?init ?upto ?engine inst (q : Cq.t) =
+  satisfiable ?init ?upto ?engine inst (Cq.body q)
 
 (* All answers to a query: distinct tuples of answer-variable images. *)
-let answers inst (q : Cq.t) =
+let answers ?engine inst (q : Cq.t) =
   let seen = Hashtbl.create 64 in
   let out = ref [] in
-  iter_solutions inst (Cq.body q) (fun b ->
+  iter_solutions ?engine inst (Cq.body q) (fun b ->
       let tuple =
         List.map
           (fun x ->
@@ -208,9 +300,9 @@ let answers inst (q : Cq.t) =
       end);
   List.rev !out
 
-let count_answers inst q = List.length (answers inst q)
+let count_answers ?engine inst q = List.length (answers ?engine inst q)
 
 (* Does the query hold with the distinguished free variable [y] bound to
    element [e]?  (The paper's C |= Psi(x, e).) *)
-let holds_at inst (q : Cq.t) y e =
-  satisfiable ~init:(Smap.singleton y e) inst (Cq.body q)
+let holds_at ?engine inst (q : Cq.t) y e =
+  satisfiable ~init:(Smap.singleton y e) ?engine inst (Cq.body q)

@@ -1,6 +1,12 @@
 (** Conjunctive-query evaluation: a backtracking join with a greedy
     most-constrained-atom-first ordering over the instance indexes.
 
+    Two {!engine}s produce the same solution sets: [Compiled] (default)
+    runs cached integer-register plans from {!Plan}; [Interp] is the
+    original interpreter, kept as a differential oracle.  Probe *order*
+    may differ between them (scoring heuristics differ), solution sets
+    never do.
+
     The joins are birth-aware: [?upto] restricts every atom to facts born
     strictly before that round (the committed prefix of a chase round,
     without copying the instance), and {!iter_solutions_delta} is the
@@ -12,39 +18,56 @@ open Bddfc_structure
 
 type binding = Element.id Smap.t
 
+type engine =
+  | Compiled (** cached per-body query plans (default) *)
+  | Interp (** the reference interpreter (differential oracle) *)
+
+val engine_tag : engine -> string
+(** ["compiled"] / ["interp"] — the CLI and trace spelling. *)
+
 val iter_solutions :
-  ?init:binding -> ?upto:int -> Instance.t -> Atom.t list ->
+  ?init:binding -> ?upto:int -> ?engine:engine -> Instance.t -> Atom.t list ->
   (binding -> unit) -> unit
 (** Enumerate all satisfying assignments of the atom list, extending the
     initial binding.  Unknown constants simply fail to match.  [upto]
     restricts every atom to facts with birth [< upto]. *)
 
 val iter_solutions_delta :
-  ?init:binding -> since:int -> ?upto:int -> Instance.t -> Atom.t list ->
-  (binding -> unit) -> unit
+  ?init:binding -> since:int -> ?upto:int -> ?engine:engine -> Instance.t ->
+  Atom.t list -> (binding -> unit) -> unit
 (** Exactly the bindings of [iter_solutions ?upto] that match at least
     one fact with birth in [\[since, upto)], each yielded once.  With
     [since <= 0] this is [iter_solutions ?upto] (every binding is new). *)
 
 val first_solution :
-  ?init:binding -> ?upto:int -> Instance.t -> Atom.t list -> binding option
+  ?init:binding -> ?upto:int -> ?engine:engine -> Instance.t -> Atom.t list ->
+  binding option
 
-val satisfiable : ?init:binding -> ?upto:int -> Instance.t -> Atom.t list -> bool
-val holds : ?init:binding -> ?upto:int -> Instance.t -> Cq.t -> bool
+val satisfiable :
+  ?init:binding -> ?upto:int -> ?engine:engine -> Instance.t -> Atom.t list ->
+  bool
 
-val answers : Instance.t -> Cq.t -> Element.id list list
+val holds :
+  ?init:binding -> ?upto:int -> ?engine:engine -> Instance.t -> Cq.t -> bool
+
+val answers : ?engine:engine -> Instance.t -> Cq.t -> Element.id list list
 (** Distinct answer tuples, in the order of the query's answer variables. *)
 
-val count_answers : Instance.t -> Cq.t -> int
+val count_answers : ?engine:engine -> Instance.t -> Cq.t -> int
 
-val holds_at : Instance.t -> Cq.t -> string -> Element.id -> bool
+val holds_at : ?engine:engine -> Instance.t -> Cq.t -> string -> Element.id -> bool
 (** [holds_at inst q y e]: the paper's [C |= exists x. Psi(x, e)] — the
     query with its free variable [y] bound to [e]. *)
 
 (** {1 Instrumentation} *)
 
 val probe_count : unit -> int
-(** Join probes (candidate facts tried against a partial binding) since
-    the last {!reset_probes} — the bench harness's strategy comparator. *)
+(** Join probes (candidate facts tried against a partial binding, under
+    either engine) since the last {!reset_probes} — the bench harness's
+    engine and strategy comparator.  The registry also carries
+    [eval.index_ops] (probe-equivalent index operations: candidates
+    materialized by the interpreter; cardinality reads plus probes for
+    compiled plans) and the {!Plan} cache counters
+    [eval.plans_compiled] / [eval.plan_cache_hits]. *)
 
 val reset_probes : unit -> unit

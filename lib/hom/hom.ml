@@ -36,7 +36,7 @@ let mapping_of_binding src tgt binding =
     Element.Id_map.empty (Instance.elements src)
 
 (* Find a homomorphism from [src] to [tgt]; [fixed] pre-binds null images. *)
-let find ?(fixed = Element.Id_map.empty) src tgt =
+let find ?(fixed = Element.Id_map.empty) ?engine src tgt =
   (* constants of src must exist in tgt with the same name *)
   let const_ok =
     List.for_all
@@ -53,12 +53,12 @@ let find ?(fixed = Element.Id_map.empty) src tgt =
         (fun id img acc -> Smap.add (var_of_null id) img acc)
         fixed Smap.empty
     in
-    match Eval.first_solution ~init tgt (atoms_of_source src) with
+    match Eval.first_solution ~init ?engine tgt (atoms_of_source src) with
     | Some binding -> Some (mapping_of_binding src tgt binding)
     | None -> None
   end
 
-let exists ?fixed src tgt = find ?fixed src tgt <> None
+let exists ?fixed ?engine src tgt = find ?fixed ?engine src tgt <> None
 
 (* Check that a given mapping is a homomorphism. *)
 let is_homomorphism src tgt mapping =

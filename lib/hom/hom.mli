@@ -5,11 +5,13 @@ open Bddfc_structure
 
 type mapping = Element.id Element.Id_map.t
 
-val find : ?fixed:mapping -> Instance.t -> Instance.t -> mapping option
+val find :
+  ?fixed:mapping -> ?engine:Eval.engine -> Instance.t -> Instance.t ->
+  mapping option
 (** A homomorphism from the first instance into the second, extending the
     [fixed] null images. *)
 
-val exists : ?fixed:mapping -> Instance.t -> Instance.t -> bool
+val exists : ?fixed:mapping -> ?engine:Eval.engine -> Instance.t -> Instance.t -> bool
 val is_homomorphism : Instance.t -> Instance.t -> mapping -> bool
 
 val image : Instance.t -> Instance.t -> mapping -> Instance.t

@@ -1,0 +1,43 @@
+(** Compiled join plans: a CQ/rule body compiled once into an
+    integer-register program — variables numbered into an
+    [Element.id array] environment, constants pre-resolved per execution,
+    per-atom access paths chosen by O(1) index cardinalities — and cached
+    per body across chase rounds.
+
+    Execution enumerates exactly the solutions of the interpreted join in
+    [Eval] (probe order may differ: scoring reads windowed bucket
+    cardinalities by binary search, and ties can break differently) and
+    counts probes through the same [eval.join_probes] registry handle.  Plans are
+    instance-independent; the cache counts [eval.plans_compiled] and
+    [eval.plan_cache_hits]. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type t
+
+val compile : Atom.t list -> t
+(** Compile a body, bypassing the cache. *)
+
+val of_atoms : Atom.t list -> t
+(** Cached compilation, keyed by physical identity of the list — rule and
+    query bodies are immutable and persist across rounds, so each body
+    compiles once per process. *)
+
+val nvars : t -> int
+val var_name : t -> int -> string
+val reg_of_var : t -> string -> int option
+
+val exec :
+  ?init:Element.id Smap.t -> ?upto:int -> Instance.t -> t ->
+  (Element.id array -> unit) -> unit
+(** Enumerate solutions, all atoms windowed to births [\[0, upto)] (full
+    window when absent).  The yielded array is the live register
+    environment — read it during the callback, do not retain it. *)
+
+val exec_windowed :
+  ?init:Element.id Smap.t -> wsince:int array -> wupto:int array ->
+  Instance.t -> t -> (Element.id array -> unit) -> unit
+(** Per-atom birth windows [\[wsince.(i), wupto.(i))]; [max_int] as an
+    upper bound means unbounded — the semi-naive delta decomposition's
+    building block. *)

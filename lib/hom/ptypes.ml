@@ -61,7 +61,7 @@ let rec subsets_upto k = function
 
 (* Does every canonical query of (A, a) with at most [vars] variables hold
    at (B, b)?  [a]/[b] may be [None] for the untyped (Boolean) variant. *)
-let ptp_leq ~vars:k a_inst a b_inst b =
+let ptp_leq ?engine ~vars:k a_inst a b_inst b =
   let const_anchor_ok =
     match (a, b) with
     | Some a, Some b -> (
@@ -110,26 +110,26 @@ let ptp_leq ~vars:k a_inst a b_inst b =
            unknown constant in B simply fails the query, correctly) *)
         match atoms with
         | [] -> true
-        | _ -> Eval.satisfiable ~init b_inst atoms)
+        | _ -> Eval.satisfiable ~init ?engine b_inst atoms)
       candidate_sets
   end
 
-let ptp_equal ~vars a_inst a b_inst b =
-  ptp_leq ~vars a_inst (Some a) b_inst (Some b)
-  && ptp_leq ~vars b_inst (Some b) a_inst (Some a)
+let ptp_equal ?engine ~vars a_inst a b_inst b =
+  ptp_leq ?engine ~vars a_inst (Some a) b_inst (Some b)
+  && ptp_leq ?engine ~vars b_inst (Some b) a_inst (Some a)
 
 (* Definition 4: d ~n e within one structure. *)
-let equiv ~vars inst d e = ptp_equal ~vars inst d inst e
+let equiv ?engine ~vars inst d e = ptp_equal ?engine ~vars inst d inst e
 
 (* The full equivalence classes of a small structure under ~n. *)
-let classes ~vars inst =
+let classes ?engine ~vars inst =
   let elems = Instance.elements inst in
   let reps = ref [] in
   let cls = Hashtbl.create 16 in
   List.iter
     (fun e ->
       match
-        List.find_opt (fun (r, _) -> equiv ~vars inst e r) !reps
+        List.find_opt (fun (r, _) -> equiv ?engine ~vars inst e r) !reps
       with
       | Some (_, id) -> Hashtbl.replace cls e id
       | None ->

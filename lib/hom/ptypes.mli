@@ -13,6 +13,7 @@
 open Bddfc_structure
 
 val ptp_leq :
+  ?engine:Eval.engine ->
   vars:int ->
   Instance.t -> Element.id option ->
   Instance.t -> Element.id option -> bool
@@ -22,11 +23,14 @@ val ptp_leq :
     @raise Invalid_argument if exactly one side is anchored. *)
 
 val ptp_equal :
+  ?engine:Eval.engine ->
   vars:int -> Instance.t -> Element.id -> Instance.t -> Element.id -> bool
 
-val equiv : vars:int -> Instance.t -> Element.id -> Element.id -> bool
+val equiv :
+  ?engine:Eval.engine -> vars:int -> Instance.t -> Element.id ->
+  Element.id -> bool
 (** Definition 4: the equivalence [d ~n e] within one structure. *)
 
-val classes : vars:int -> Instance.t -> int array * int
+val classes : ?engine:Eval.engine -> vars:int -> Instance.t -> int array * int
 (** The full partition of a small structure under {!equiv}: class index
     per element, and the number of classes. *)

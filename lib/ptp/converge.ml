@@ -29,7 +29,8 @@ type trace = {
 
 (* The quotient sequence M_n(C-bar) for n = 1..max_n, with gain-tracking
    for the supplied (query, free-variable) family. *)
-let sequence ?(mode = Refine.Backward) ~max_n (coloring : Coloring.t) queries =
+let sequence ?(mode = Refine.Backward) ?eval ~max_n
+    (coloring : Coloring.t) queries =
   let base = Coloring.uncolor coloring.Coloring.colored in
   let g = Bgraph.make coloring.Coloring.colored in
   let points =
@@ -43,8 +44,9 @@ let sequence ?(mode = Refine.Backward) ~max_n (coloring : Coloring.t) queries =
             (fun (query, y) ->
               List.exists
                 (fun e ->
-                  Eval.holds_at quotient_base query y (Quotient.project qt e)
-                  && not (Eval.holds_at base query y e))
+                  Eval.holds_at ?engine:eval quotient_base query y
+                    (Quotient.project qt e)
+                  && not (Eval.holds_at ?engine:eval base query y e))
                 (Instance.elements base))
             queries
         in

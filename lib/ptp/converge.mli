@@ -20,7 +20,8 @@ type trace = {
 }
 
 val sequence :
-  ?mode:Refine.mode -> max_n:int -> Coloring.t -> (Cq.t * string) list -> trace
+  ?mode:Refine.mode -> ?eval:Bddfc_hom.Eval.engine -> max_n:int ->
+  Coloring.t -> (Cq.t * string) list -> trace
 
 val persistent : trace -> (Cq.t * string) list
 (** Queries gained at every depth of the trace. *)

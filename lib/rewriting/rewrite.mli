@@ -23,17 +23,19 @@ type result = {
 }
 
 val rewrite :
-  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
-  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+  ?budget:Budget.t -> ?eval:Bddfc_hom.Eval.engine -> ?max_disjuncts:int ->
+  ?max_steps:int -> ?max_piece:int -> ?max_disjunct_vars:int ->
+  Theory.t -> Cq.t -> result
 (** @raise Invalid_argument on multi-head rules (apply
     [Bddfc_classes.Multihead.to_single_head] first). *)
 
 val bdd_for_query :
-  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
-  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> Cq.t -> result
+  ?budget:Budget.t -> ?eval:Bddfc_hom.Eval.engine -> ?max_disjuncts:int ->
+  ?max_steps:int -> ?max_piece:int -> ?max_disjunct_vars:int ->
+  Theory.t -> Cq.t -> result
 (** Alias of {!rewrite}; [complete = true] certifies BDD for this query. *)
 
-val ucq_holds : Instance.t -> Cq.t list -> bool
+val ucq_holds : ?eval:Bddfc_hom.Eval.engine -> Instance.t -> Cq.t list -> bool
 
 type kappa_result = {
   kappa : int; (** max variables over all computed body rewritings *)
@@ -44,7 +46,8 @@ type kappa_result = {
 }
 
 val kappa :
-  ?budget:Budget.t -> ?max_disjuncts:int -> ?max_steps:int ->
-  ?max_piece:int -> ?max_disjunct_vars:int -> Theory.t -> kappa_result
+  ?budget:Budget.t -> ?eval:Bddfc_hom.Eval.engine -> ?max_disjuncts:int ->
+  ?max_steps:int -> ?max_piece:int -> ?max_disjunct_vars:int ->
+  Theory.t -> kappa_result
 (** The kappa of Section 3.3: the maximal number of variables in a
     positive rewriting of the body of some rule of the theory. *)

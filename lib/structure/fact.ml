@@ -22,7 +22,14 @@ let compare f1 f2 =
   let c = Pred.compare f1.pred f2.pred in
   if c <> 0 then c else Stdlib.compare f1.args f2.args
 
-let hash f = Hashtbl.hash (Pred.name f.pred, Pred.arity f.pred, f.args)
+(* [Hashtbl.hash] stops after 10 "meaningful" nodes, so hashing the raw
+   args array would ignore every argument past the first few and collapse
+   higher-arity fact tables into collision chains.  Fold over the full
+   array instead, seeded with the predicate. *)
+let hash f =
+  let h = ref (Hashtbl.hash (Pred.name f.pred, Pred.arity f.pred)) in
+  Array.iter (fun id -> h := ((!h * 31) + id + 1) land max_int) f.args;
+  !h
 
 let elements f = Array.to_list f.args
 

@@ -11,6 +11,9 @@ val arity : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+(** Folds over the full argument array (unlike a bare [Hashtbl.hash],
+    which stops after 10 meaningful nodes and would collide all
+    higher-arity facts sharing a prefix). *)
 val elements : t -> Element.id list
 val pp : t Fmt.t
 val show : t -> string

@@ -20,6 +20,38 @@
 
 open Bddfc_logic
 
+(* An index bucket: the newest-first fact list plus its length, kept
+   incrementally so most-constrained-first join scoring reads a
+   cardinality in O(1) instead of running [List.length] over a
+   materialized window.  [b_births] records each fact's birth in arrival
+   order — non-decreasing while the instance is monotone — so windowed
+   cardinalities are two binary searches instead of a walk. *)
+type bucket = {
+  mutable b_facts : Fact.t list;
+  mutable b_size : int;
+  mutable b_births : int array; (* arrival order; length >= b_size *)
+}
+
+let bucket_push b f birth =
+  b.b_facts <- f :: b.b_facts;
+  let cap = Array.length b.b_births in
+  if b.b_size >= cap then begin
+    let grown = Array.make (max (2 * cap) 4) 0 in
+    Array.blit b.b_births 0 grown 0 cap;
+    b.b_births <- grown
+  end;
+  b.b_births.(b.b_size) <- birth;
+  b.b_size <- b.b_size + 1
+
+(* First index in the sorted prefix [0, n) of [a] with [a.(i) >= x]. *)
+let lower_bound a n x =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 type t = {
   mutable next_id : int;
   mutable infos : Element.info array; (* id -> info, grown on demand *)
@@ -27,8 +59,8 @@ type t = {
   fact_set : unit Fact.Table.t;
   mutable fact_list : Fact.t list; (* newest first *)
   mutable n_facts : int;
-  by_pred : (Pred.t, Fact.t list ref) Hashtbl.t;
-  by_ppe : (Pred.t * int * Element.id, Fact.t list ref) Hashtbl.t;
+  by_pred : (Pred.t, bucket) Hashtbl.t;
+  by_ppe : (Pred.t * int * Element.id, bucket) Hashtbl.t;
   mutable preds : Pred.Set.t;
   fact_birth : int Fact.Table.t; (* absent = born at round 0 *)
   mutable max_fact_birth : int;
@@ -116,8 +148,10 @@ let add_fact ?(birth = 0) inst f =
     else inst.max_fact_birth <- birth;
     let push key tbl =
       match Hashtbl.find_opt tbl key with
-      | Some r -> r := f :: !r
-      | None -> Hashtbl.replace tbl key (ref [ f ])
+      | Some b -> bucket_push b f birth
+      | None ->
+          Hashtbl.replace tbl key
+            { b_facts = [ f ]; b_size = 1; b_births = [| birth; 0; 0; 0 |] }
     in
     push (Fact.pred f) inst.by_pred;
     Array.iteri
@@ -172,12 +206,44 @@ let window inst ~since ~upto l =
       l
 
 let facts_with_pred inst p =
-  match Hashtbl.find_opt inst.by_pred p with Some r -> !r | None -> []
+  match Hashtbl.find_opt inst.by_pred p with
+  | Some b -> b.b_facts
+  | None -> []
 
 let facts_with_arg inst p pos id =
   match Hashtbl.find_opt inst.by_ppe (p, pos, id) with
-  | Some r -> !r
+  | Some b -> b.b_facts
   | None -> []
+
+let card_with_pred inst p =
+  match Hashtbl.find_opt inst.by_pred p with Some b -> b.b_size | None -> 0
+
+let card_with_arg inst p pos id =
+  match Hashtbl.find_opt inst.by_ppe (p, pos, id) with
+  | Some b -> b.b_size
+  | None -> 0
+
+(* Exact windowed cardinality (births in [since, upto), with [max_int]
+   as "no upper bound"): two binary searches over the bucket's birth
+   array.  When the monotone-birth invariant was broken the array is no
+   longer sorted, so fall back to the whole-bucket size — an upper
+   bound, which is all the join scorer needs. *)
+let bucket_card_window inst b ~since ~upto =
+  if since <= 0 && upto > inst.max_fact_birth then b.b_size
+  else if not inst.birth_monotone then b.b_size
+  else
+    lower_bound b.b_births b.b_size upto
+    - lower_bound b.b_births b.b_size since
+
+let card_with_pred_window inst p ~since ~upto =
+  match Hashtbl.find_opt inst.by_pred p with
+  | Some b -> bucket_card_window inst b ~since ~upto
+  | None -> 0
+
+let card_with_arg_window inst p pos id ~since ~upto =
+  match Hashtbl.find_opt inst.by_ppe (p, pos, id) with
+  | Some b -> bucket_card_window inst b ~since ~upto
+  | None -> 0
 
 let facts_with_pred_window ?(since = 0) ?upto inst p =
   window inst ~since ~upto (facts_with_pred inst p)
@@ -185,7 +251,48 @@ let facts_with_pred_window ?(since = 0) ?upto inst p =
 let facts_with_arg_window ?(since = 0) ?upto inst p pos id =
   window inst ~since ~upto (facts_with_arg inst p pos id)
 
-let facts_since inst since = window inst ~since ~upto:None inst.fact_list
+(* Iterator form of [window]: same birth restriction and order, but no
+   intermediate list — the compiled join engine probes candidates
+   straight off the index bucket. *)
+let iter_window inst ~since ~upto fn l =
+  let no_upper =
+    match upto with None -> true | Some u -> u > inst.max_fact_birth
+  in
+  if since <= 0 && no_upper then List.iter fn l
+  else if inst.birth_monotone then begin
+    let rec drop = function
+      | f :: rest
+        when (match upto with
+             | Some u -> fact_birth inst f >= u
+             | None -> false) ->
+          drop rest
+      | l -> l
+    in
+    let l = drop l in
+    if since <= 0 then List.iter fn l
+    else begin
+      let rec take = function
+        | f :: rest when fact_birth inst f >= since ->
+            fn f;
+            take rest
+        | _ -> ()
+      in
+      take l
+    end
+  end
+  else
+    List.iter
+      (fun f ->
+        let b = fact_birth inst f in
+        if b >= since && (match upto with None -> true | Some u -> b < u)
+        then fn f)
+      l
+
+let iter_with_pred_window ?(since = 0) ?upto inst p fn =
+  iter_window inst ~since ~upto fn (facts_with_pred inst p)
+
+let iter_with_arg_window ?(since = 0) ?upto inst p pos id fn =
+  iter_window inst ~since ~upto fn (facts_with_arg inst p pos id)
 
 let preds inst = inst.preds
 

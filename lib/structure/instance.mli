@@ -45,6 +45,25 @@ val facts : t -> Fact.t list
 val iter_facts : (Fact.t -> unit) -> t -> unit
 val facts_with_pred : t -> Pred.t -> Fact.t list
 val facts_with_arg : t -> Pred.t -> int -> Element.id -> Fact.t list
+
+val card_with_pred : t -> Pred.t -> int
+(** [List.length (facts_with_pred inst p)] in O(1): every index bucket
+    carries its size, so most-constrained-first join scoring never
+    materializes a candidate list. *)
+
+val card_with_arg : t -> Pred.t -> int -> Element.id -> int
+(** [List.length (facts_with_arg inst p pos id)] in O(1). *)
+
+val card_with_pred_window : t -> Pred.t -> since:int -> upto:int -> int
+(** Exact count of the bucket's facts with birth in [\[since, upto)]
+    ([max_int] = no upper bound): two binary searches over the bucket's
+    birth array — no walk, no allocation.  If the monotone-birth
+    invariant was ever broken this degrades to the whole-bucket size (an
+    upper bound, which join scoring tolerates). *)
+
+val card_with_arg_window :
+  t -> Pred.t -> int -> Element.id -> since:int -> upto:int -> int
+
 val preds : t -> Pred.Set.t
 val signature : t -> Signature.t
 
@@ -66,9 +85,6 @@ val reset_fact_births : t -> unit
     chase calls this on its working copy so delta windows of a new run
     never see stamps from a previous one. *)
 
-val facts_since : t -> int -> Fact.t list
-(** Facts with birth [>= since], newest first — a round's delta. *)
-
 val facts_with_pred_window :
   ?since:int -> ?upto:int -> t -> Pred.t -> Fact.t list
 (** [facts_with_pred] restricted to births in [\[since, upto)]. *)
@@ -76,6 +92,16 @@ val facts_with_pred_window :
 val facts_with_arg_window :
   ?since:int -> ?upto:int -> t -> Pred.t -> int -> Element.id -> Fact.t list
 (** [facts_with_arg] restricted to births in [\[since, upto)]. *)
+
+val iter_with_pred_window :
+  ?since:int -> ?upto:int -> t -> Pred.t -> (Fact.t -> unit) -> unit
+(** Iterate [facts_with_pred_window] without materializing the window —
+    the compiled join engine's probe loop. *)
+
+val iter_with_arg_window :
+  ?since:int -> ?upto:int -> t -> Pred.t -> int -> Element.id ->
+  (Fact.t -> unit) -> unit
+(** Iterate [facts_with_arg_window] without materializing the window. *)
 
 (** {1 Conversions} *)
 

@@ -33,6 +33,12 @@ dune build @test/cli/runtest
 # evaluation strategies diverge on any bench workload or zoo entry
 dune exec bench/main.exe -- --strategy-smoke
 
+# the join-engine smoke: compiled plans and the reference interpreter
+# must agree on every workload and zoo entry, and the compiled engine's
+# deterministic probe / index-op counts must stay within 10% of the
+# committed EX-17 blob (wall times are informational only)
+dune exec bench/main.exe -- --eval-smoke --bench05-check BENCH_05.json
+
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;
 # the registry snapshot is archived as a BENCH_*-style blob

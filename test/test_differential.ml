@@ -355,6 +355,146 @@ let test_obs_random_invariants () =
       check_telemetry (Printf.sprintf "seed %d" seed) theory d)
     random_cases
 
+(* ----------------------------------------------------------------- *)
+(* Compiled vs interpreted join engine                                 *)
+(* ----------------------------------------------------------------- *)
+
+(* The compiled plans of [Plan] and the reference interpreter must
+   enumerate the same solution sets everywhere: plain joins, windowed
+   joins, the semi-naive delta decomposition, whole chases under either
+   strategy, and budget-trapped runs.  Probe *order* may differ (the
+   engines score access paths differently), so solutions are compared as
+   sorted sets, and instances with the usual hom-both-ways oracle. *)
+
+module E = Bddfc_hom.Eval
+
+let solution_set ?since engine inst atoms =
+  let out = ref [] in
+  (match since with
+  | None ->
+      E.iter_solutions ~engine inst atoms (fun b ->
+          out := Smap.bindings b :: !out)
+  | Some s ->
+      E.iter_solutions_delta ~since:s ~engine inst atoms (fun b ->
+          out := Smap.bindings b :: !out));
+  List.sort_uniq compare !out
+
+let check_engines_agree name inst atoms ~rounds =
+  check
+    Alcotest.(list (list (pair string int)))
+    (name ^ ": solutions")
+    (solution_set E.Interp inst atoms)
+    (solution_set E.Compiled inst atoms);
+  (* the delta decomposition agrees for every frontier *)
+  for since = 1 to min rounds 4 do
+    check
+      Alcotest.(list (list (pair string int)))
+      (Printf.sprintf "%s: delta since %d" name since)
+      (solution_set ~since E.Interp inst atoms)
+      (solution_set ~since E.Compiled inst atoms)
+  done
+
+let test_engine_zoo_solutions () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let r = Chase.run ~max_rounds:6 ~max_elements:2_000 e.Zoo.theory d in
+      let inst = r.Chase.instance in
+      check_engines_agree e.Zoo.name inst
+        (Cq.body e.Zoo.query)
+        ~rounds:r.Chase.rounds;
+      check
+        Alcotest.(list (list int))
+        (e.Zoo.name ^ ": answers")
+        (List.sort compare (E.answers ~engine:E.Interp inst e.Zoo.query))
+        (List.sort compare (E.answers ~engine:E.Compiled inst e.Zoo.query)))
+    Zoo.all
+
+let test_engine_random_solutions () =
+  (* rule bodies over chased random instances double as a query corpus:
+     they mix shared variables, constants and repeated predicates *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      let r = Chase.run ~max_rounds:5 ~max_elements:400 theory d in
+      List.iteri
+        (fun i rule ->
+          check_engines_agree
+            (Printf.sprintf "seed %d rule %d" seed i)
+            r.Chase.instance (Rule.body rule) ~rounds:r.Chase.rounds)
+        (Theory.rules theory))
+    random_cases
+
+let test_engine_chase_agreement () =
+  (* whole chases driven by either engine are isomorphic, round for
+     round, under both strategies *)
+  let go ~strategy eval theory d =
+    Chase.run ~strategy ~eval ~max_rounds:6 ~max_elements:400 theory d
+  in
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      List.iter
+        (fun strategy ->
+          check_agree
+            (Printf.sprintf "seed %d engines" seed)
+            (go ~strategy E.Interp theory d)
+            (go ~strategy E.Compiled theory d))
+        [ Chase.Naive; Chase.Seminaive ])
+    (List.init 20 (fun i -> i * 3))
+
+let test_engine_fuel_trap () =
+  (* the compiled engine degrades exactly like the interpreter under
+     forced exhaustion: no Budget.Exhausted leak, births in range *)
+  let t =
+    th
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z). |}
+  in
+  let d = db "e(a,b). e(b,c)." in
+  List.iter
+    (fun after ->
+      List.iter
+        (fun eval ->
+          let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+          match
+            Chase.run ~strategy:Chase.Seminaive ~eval ~budget:b ~max_rounds:12
+              t d
+          with
+          | exception Budget.Exhausted _ ->
+              Alcotest.failf "engine trap %d leaked Budget.Exhausted" after
+          | r ->
+              Instance.iter_facts
+                (fun f ->
+                  let birth = Instance.fact_birth r.Chase.instance f in
+                  if birth < 0 || birth > r.Chase.rounds + 1 then
+                    Alcotest.failf "engine trap %d: birth %d outside rounds %d"
+                      after birth r.Chase.rounds)
+                r.Chase.instance)
+        [ E.Compiled; E.Interp ])
+    [ 1; 2; 3; 5; 8; 13; 21 ]
+
+let test_engine_round_budget_agreement () =
+  (* truncated prefixes agree across engines, not just strategies *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      List.iter
+        (fun rounds ->
+          let go eval =
+            Chase.run ~eval
+              ~budget:(Budget.v ~rounds ~elements:400 ())
+              theory d
+          in
+          check_agree
+            (Printf.sprintf "seed %d rounds %d engines" seed rounds)
+            (go E.Interp) (go E.Compiled))
+        [ 1; 2; 3 ])
+    (List.init 8 (fun i -> i * 7))
+
 let suite =
   ( "differential",
     [ tc "zoo: naive vs seminaive agree" test_zoo_agreement;
@@ -373,4 +513,12 @@ let suite =
       tc "telemetry: zoo events reconcile with instances and registry"
         test_obs_zoo_invariants;
       tc "telemetry: 60 random seeds reconcile" test_obs_random_invariants;
+      tc "engines: zoo solutions and answers agree" test_engine_zoo_solutions;
+      tc "engines: 60 random seeds' solution sets agree"
+        test_engine_random_solutions;
+      tc "engines: chases agree under both strategies"
+        test_engine_chase_agreement;
+      tc "engines: fuel traps degrade identically" test_engine_fuel_trap;
+      tc "engines: round-budget prefixes agree"
+        test_engine_round_budget_agreement;
     ] )

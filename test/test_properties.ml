@@ -115,7 +115,7 @@ let prop_mgu_unifies =
 (* Containment is reflexive and transitive on random queries. *)
 let prop_containment_reflexive =
   make_test "containment reflexive" (arb cq_gen Cq.show) (fun q ->
-      Containment.subsumes ~general:q ~specific:q)
+      Containment.subsumes ~general:q q)
 
 let prop_containment_sound =
   (* if general subsumes specific then on every instance specific -> general *)
@@ -125,7 +125,7 @@ let prop_containment_sound =
        (fun (q1, q2, inst) ->
          Cq.show q1 ^ " | " ^ Cq.show q2 ^ " | " ^ Instance.show inst))
     (fun (q1, q2, inst) ->
-      (not (Containment.subsumes ~general:q1 ~specific:q2))
+      (not (Containment.subsumes ~general:q1 q2))
       || (not (Eval.holds inst q2))
       || Eval.holds inst q1)
 
@@ -324,6 +324,10 @@ let obs_fingerprint (t, inst) =
     in
     (fp, delta)
   in
+  (* Warm the compiled-plan cache first: otherwise the first measured run
+     pays eval.plans_compiled and the second collects eval.plan_cache_hits,
+     and the counter deltas differ for cache reasons, not tracing ones. *)
+  ignore (Chase.run ~max_rounds:8 ~max_elements:2_000 t (Instance.copy inst));
   T.set_sink None;
   let off = observe () in
   let collector = T.install_collector () in

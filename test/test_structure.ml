@@ -194,6 +194,31 @@ let test_canonical_key_stable () =
   let k2 = Canonical.key inst (Instance.elements inst) in
   check Alcotest.string "deterministic" k1 k2
 
+(* Regression: Fact.hash used to go through Hashtbl.hash, whose default
+   traversal stops after 10 meaningful nodes — high-arity facts differing
+   only in late arguments all collided.  The hash must now see every
+   argument. *)
+let test_fact_hash_full_arity () =
+  let wide = Pred.make "w" 16 in
+  let base = Array.init 16 (fun i -> i) in
+  let f1 = Fact.make wide base in
+  let variant = Array.copy base in
+  variant.(15) <- 999;
+  let f2 = Fact.make wide variant in
+  check Alcotest.bool "late-arg variants hash apart" true
+    (Fact.hash f1 <> Fact.hash f2);
+  check Alcotest.int "hash is stable" (Fact.hash f1)
+    (Fact.hash (Fact.make wide (Array.copy base)));
+  (* and the collision-prone shape actually behaves in a table *)
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let args = Array.copy base in
+    args.(15) <- 1000 + i;
+    Hashtbl.replace tbl (Fact.hash (Fact.make wide args)) ()
+  done;
+  check Alcotest.bool "64 late-arg variants give >1 distinct hash" true
+    (Hashtbl.length tbl > 1)
+
 let suite =
   ( "structure",
     [ tc "const interning" test_const_interning;
@@ -214,4 +239,5 @@ let suite =
       tc "canonical iso" test_canonical_iso;
       tc "canonical constants rigid" test_canonical_constants_rigid;
       tc "canonical key stable" test_canonical_key_stable;
+      tc "fact hash full arity" test_fact_hash_full_arity;
     ] )
