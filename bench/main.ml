@@ -40,6 +40,17 @@ let eval_smoke_only = ref false
 let bench05_out = ref ""
 let bench05_check = ref ""
 
+(* --serve-bench runs only EX-18's serve load harness: a forked server
+   child on a Unix-domain socket, driven closed-loop through cold/warm/
+   overload/faulted phases; --bench06-out writes the phase table as
+   BENCH_06.json; --bench06-check re-runs the harness and gates the
+   deterministic fields (request/error counts, warm speedup >= 5x,
+   overload shedding, both server children exiting 0) against the
+   committed blob.  Latencies are reported, never gated. *)
+let serve_bench_only = ref false
+let bench06_out = ref ""
+let bench06_check = ref ""
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -71,11 +82,20 @@ let parse_args () =
       ("--bench05-out", Arg.Set_string bench05_out,
        "FILE write EX-17's per-workload engine measurements (BENCH_05)");
       ("--bench05-check", Arg.Set_string bench05_check,
-       "FILE fail when compiled probe counts regress >10% vs the blob") ]
+       "FILE fail when compiled probe counts regress >10% vs the blob");
+      ("--serve-bench", Arg.Set serve_bench_only,
+       " run only EX-18's serve load harness (forked server + load \
+        client); exit 1 on a robustness violation");
+      ("--bench06-out", Arg.Set_string bench06_out,
+       "FILE write EX-18's serve phase measurements (BENCH_06)");
+      ("--bench06-check", Arg.Set_string bench06_check,
+       "FILE fail when EX-18's deterministic counts diverge from the \
+        blob or the warm speedup drops below 5x") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
      [--obs-smoke] [--eval-smoke] [--metrics-out FILE] [--bench05-out FILE] \
-     [--bench05-check FILE]";
+     [--bench05-check FILE] [--serve-bench] [--bench06-out FILE] \
+     [--bench06-check FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -1107,6 +1127,450 @@ let strategy_smoke () =
     1
   end
 
+(* ------------------------------------------------------------------ *)
+(* EX-18: the serve load harness.  A [bddfc serve]-equivalent server is
+   forked onto a Unix-domain socket (the library entry point, same code
+   path as the CLI) and driven closed-loop:
+
+     cold_judge      evict before every judge: per-request rebuild +
+                     recompute, the batch-tool cost profile
+     warm_judge      the same judge against the resident session:
+                     memoized verdict, the serving cost profile
+     warm_mixed      4 concurrent judge/cert/query streams, one
+                     outstanding request each
+     overload_burst  64 requests in one write against max_inflight=8:
+                     the shed requests must answer [overloaded]
+     faulted         120 requests against a seed-7 fault stream: every
+                     line must get a structured reply, then the child
+                     must still drain and exit 0
+
+   The robustness claims gated (here and by --bench06-check): both
+   children exit 0, every request gets exactly one reply, clean phases
+   have zero errors, the burst sheds, and warm p50 is at least 5x
+   better than cold p50.  Latency numbers are wall clock and only
+   reported. *)
+
+type ex18_phase = {
+  p_name : string;
+  p_requests : int;
+  p_errors : int;
+  p_overloaded : int;
+  p_p50_us : float;
+  p_p99_us : float;
+}
+
+module Sj = Obs.Json
+
+let ex18_program =
+  "e(X,Y) -> e(Y,X). e(X,Y), e(Y,Z) -> p(X,Z). p(X,Y) -> exists W. m(X,W). \
+   e(a,b). e(b,c). e(c,d). e(d,f). e(f,g)."
+
+let ex18_load_line =
+  Printf.sprintf {|{"id":0,"op":"load","session":"w","program":%S}|}
+    ex18_program
+
+let ex18_judge_line =
+  {|{"id":1,"op":"judge","session":"w","query":"? m(a,a)."}|}
+
+let ex18_cert_line =
+  {|{"id":2,"op":"cert","session":"w","query":"? m(X,X)."}|}
+
+let ex18_query_line =
+  {|{"id":3,"op":"query","session":"w","query":"? p(a,c)."}|}
+
+let ex18_evict_line = {|{"id":4,"op":"evict","session":"w"}|}
+let ex18_ping_line = {|{"id":5,"op":"ping"}|}
+
+type ex18_conn = { c_fd : Unix.file_descr; c_rbuf : Buffer.t }
+
+let ex18_fork_server ~path config =
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          let t = Serve.Server.create ~config () in
+          Serve.Server.serve_socket t ~path;
+          0
+        with _ -> 9
+      in
+      Unix._exit code
+  | pid -> pid
+
+let ex18_connect path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { c_fd = fd; c_rbuf = Buffer.create 256 }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.close fd;
+        ignore (Unix.select [] [] [] 0.02);
+        go ()
+  in
+  go ()
+
+let ex18_send c line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring c.c_fd data off (len - off))
+  in
+  go 0
+
+let ex18_recv =
+  let chunk = Bytes.create 4096 in
+  fun c ->
+    let rec take () =
+      let data = Buffer.contents c.c_rbuf in
+      match String.index_opt data '\n' with
+      | Some i ->
+          Buffer.clear c.c_rbuf;
+          Buffer.add_string c.c_rbuf
+            (String.sub data (i + 1) (String.length data - i - 1));
+          String.sub data 0 i
+      | None ->
+          let n = Unix.read c.c_fd chunk 0 (Bytes.length chunk) in
+          if n = 0 then failwith "ex18: server closed the connection";
+          Buffer.add_subbytes c.c_rbuf chunk 0 n;
+          take ()
+    in
+    take ()
+
+(* send + wait for the one reply: closed-loop latency in microseconds *)
+let ex18_rpc c line =
+  let t0 = Unix.gettimeofday () in
+  ex18_send c line;
+  let reply = ex18_recv c in
+  (reply, (Unix.gettimeofday () -. t0) *. 1e6)
+
+let ex18_ok reply =
+  match Sj.parse reply with
+  | Ok j -> ( match Sj.member "ok" j with Some (Sj.B b) -> b | _ -> false)
+  | Error _ -> false
+
+let ex18_error_code reply =
+  match Sj.parse reply with
+  | Ok j -> ( match Sj.member "error" j with Some (Sj.S s) -> Some s | _ -> None)
+  | Error _ -> None
+
+(* a faulted shutdown may trip at admission before the stop flag is
+   set; retry until the server acknowledges the drain *)
+let ex18_shutdown c =
+  let rec go n =
+    if n > 0 then
+      let reply, _ = ex18_rpc c {|{"id":9,"op":"shutdown"}|} in
+      if not (ex18_ok reply) then go (n - 1)
+  in
+  go 20
+
+let ex18_wait pid =
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          -1
+        end
+        else begin
+          ignore (Unix.select [] [] [] 0.02);
+          go ()
+        end
+    | _, Unix.WEXITED c -> c
+    | _, _ -> -1
+  in
+  go ()
+
+let ex18_pct samples p =
+  match samples with
+  | [] -> 0.
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let ex18_phase name latencies ~requests ~errors ~overloaded =
+  { p_name = name; p_requests = requests; p_errors = errors; p_overloaded = overloaded;
+    p_p50_us = ex18_pct latencies 0.5; p_p99_us = ex18_pct latencies 0.99 }
+
+type ex18_result = {
+  r_phases : ex18_phase list;
+  r_speedup : float;
+  r_clean_exit : int;
+  r_fault_exit : int;
+}
+
+let ex18_measure_serve () =
+  header "EX-18: serve load harness (warm sessions, overload, faults)";
+  let tmp = Filename.get_temp_dir_name () in
+  let sock suffix =
+    Filename.concat tmp (Printf.sprintf "bddfc_ex18_%d_%s" (Unix.getpid ()) suffix)
+  in
+  (* ------------------------- the clean server -------------------- *)
+  let clean_sock = sock "clean.sock" in
+  let clean_pid =
+    ex18_fork_server ~path:clean_sock
+      { Serve.Server.default_config with max_inflight = 8 }
+  in
+  let c = ex18_connect clean_sock in
+  let setup_errors = ref 0 in
+  let expect_ok what reply =
+    if not (ex18_ok reply) then begin
+      incr setup_errors;
+      Fmt.pr "ex18: %s failed: %s@." what reply
+    end
+  in
+  expect_ok "load" (fst (ex18_rpc c ex18_load_line));
+  (* cold: evict first, so every judge pays parse+analyze+compute *)
+  let cold = ref [] and cold_err = ref 0 in
+  let n_cold = 30 in
+  for _ = 1 to n_cold do
+    ignore (ex18_rpc c ex18_evict_line);
+    let reply, us = ex18_rpc c ex18_judge_line in
+    if ex18_ok reply then cold := us :: !cold else incr cold_err
+  done;
+  (* warm: one priming judge rebuilds the session, then the memoized
+     steady state *)
+  expect_ok "prime" (fst (ex18_rpc c ex18_judge_line));
+  let warm = ref [] and warm_err = ref 0 in
+  let n_warm = 200 in
+  for _ = 1 to n_warm do
+    let reply, us = ex18_rpc c ex18_judge_line in
+    if ex18_ok reply then warm := us :: !warm else incr warm_err
+  done;
+  (* mixed: 4 streams, one outstanding judge/cert/query each *)
+  let streams = Array.init 4 (fun _ -> ex18_connect clean_sock) in
+  let stream_line i =
+    match i mod 3 with
+    | 0 -> ex18_judge_line
+    | 1 -> ex18_cert_line
+    | _ -> ex18_query_line
+  in
+  let mixed = ref [] and mixed_err = ref 0 in
+  let n_rounds = 25 in
+  for _ = 1 to n_rounds do
+    let t0 = Array.map (fun _ -> 0.) streams in
+    Array.iteri
+      (fun i s ->
+        t0.(i) <- Unix.gettimeofday ();
+        ex18_send s (stream_line i))
+      streams;
+    Array.iteri
+      (fun i s ->
+        let reply = ex18_recv s in
+        let us = (Unix.gettimeofday () -. t0.(i)) *. 1e6 in
+        if ex18_ok reply then mixed := us :: !mixed else incr mixed_err)
+      streams
+  done;
+  (* overload: 64 pings in one write against max_inflight=8; the shed
+     majority must answer [overloaded] immediately, never queue *)
+  let bc = ex18_connect clean_sock in
+  let n_burst = 64 in
+  let burst = Buffer.create 2048 in
+  for _ = 1 to n_burst do
+    Buffer.add_string burst ex18_ping_line;
+    Buffer.add_char burst '\n'
+  done;
+  ex18_send bc (String.sub (Buffer.contents burst) 0 (Buffer.length burst - 1));
+  let shed = ref 0 and burst_err = ref 0 in
+  for _ = 1 to n_burst do
+    let reply = ex18_recv bc in
+    match ex18_error_code reply with
+    | Some "overloaded" -> incr shed
+    | Some _ -> incr burst_err
+    | None -> ()
+  done;
+  ex18_shutdown c;
+  let clean_exit = ex18_wait clean_pid in
+  Array.iter (fun s -> Unix.close s.c_fd) streams;
+  Unix.close bc.c_fd;
+  Unix.close c.c_fd;
+  (* ------------------------ the faulted server ------------------- *)
+  let fault_sock = sock "fault.sock" in
+  let fault_pid =
+    ex18_fork_server ~path:fault_sock
+      { Serve.Server.default_config with
+        faults = Some (Serve.Faults.seeded ~seed:7) }
+  in
+  let fc = ex18_connect fault_sock in
+  let f_req = ref 0 and f_err = ref 0 and f_lat = ref [] in
+  let f_send line =
+    incr f_req;
+    let reply, us = ex18_rpc fc line in
+    f_lat := us :: !f_lat;
+    if not (ex18_ok reply) then begin
+      incr f_err;
+      (* even a faulted reply must be structured: parseable with a
+         machine-readable error code *)
+      if ex18_error_code reply = None then incr setup_errors
+    end;
+    ex18_ok reply
+  in
+  let rec f_load n = if not (f_send ex18_load_line) && n > 0 then f_load (n - 1) in
+  f_load 10;
+  for i = 1 to 120 do
+    ignore
+      (f_send
+         (match i mod 4 with
+         | 0 -> ex18_ping_line
+         | 1 -> ex18_judge_line
+         | 2 -> ex18_query_line
+         | _ -> ex18_cert_line))
+  done;
+  ex18_shutdown fc;
+  let fault_exit = ex18_wait fault_pid in
+  Unix.close fc.c_fd;
+  (* --------------------------- the table ------------------------- *)
+  let phases =
+    [ ex18_phase "cold_judge" !cold ~requests:n_cold ~errors:!cold_err
+        ~overloaded:0;
+      ex18_phase "warm_judge" !warm ~requests:n_warm ~errors:!warm_err
+        ~overloaded:0;
+      ex18_phase "warm_mixed" !mixed ~requests:(4 * n_rounds)
+        ~errors:!mixed_err ~overloaded:0;
+      ex18_phase "overload_burst" [] ~requests:n_burst ~errors:!burst_err
+        ~overloaded:!shed;
+      ex18_phase "faulted" !f_lat ~requests:!f_req ~errors:!f_err
+        ~overloaded:0 ]
+  in
+  let p50 name =
+    (List.find (fun p -> p.p_name = name) phases).p_p50_us
+  in
+  let speedup =
+    let w = p50 "warm_judge" in
+    if w > 0. then p50 "cold_judge" /. w else 0.
+  in
+  Fmt.pr "%-16s %9s %7s %11s %10s %10s@." "phase" "requests" "errors"
+    "overloaded" "p50(us)" "p99(us)";
+  List.iter
+    (fun p ->
+      Fmt.pr "%-16s %9d %7d %11d %10.1f %10.1f@." p.p_name p.p_requests
+        p.p_errors p.p_overloaded p.p_p50_us p.p_p99_us)
+    phases;
+  Fmt.pr "warm/cold speedup (p50): %.1fx@." speedup;
+  Fmt.pr "server exits: clean %d, faulted %d; setup errors: %d@." clean_exit
+    fault_exit !setup_errors;
+  ( { r_phases = phases; r_speedup = speedup; r_clean_exit = clean_exit;
+      r_fault_exit = fault_exit },
+    !setup_errors )
+
+let ex18_blob r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiment\":\"EX-18\",\"phases\":[\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"phase\":\"%s\",\"requests\":%d,\"errors\":%d,\"overloaded\":%d,\
+            \"p50_us\":%.1f,\"p99_us\":%.1f}"
+           p.p_name p.p_requests p.p_errors p.p_overloaded p.p_p50_us
+           p.p_p99_us))
+    r.r_phases;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n],\"warm_speedup_p50\":%.1f,\"clean_server_exit\":%d,\
+        \"faulted_server_exit\":%d}\n"
+       r.r_speedup r.r_clean_exit r.r_fault_exit);
+  Buffer.contents b
+
+(* The robustness invariants that must hold on ANY run, blob or not. *)
+let ex18_structural r setup_errors =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  if setup_errors > 0 then fail "bench06 gate: %d setup failures@." setup_errors;
+  if r.r_clean_exit <> 0 then
+    fail "bench06 gate: clean server exited %d (want 0)@." r.r_clean_exit;
+  if r.r_fault_exit <> 0 then
+    fail "bench06 gate: faulted server exited %d (want 0)@." r.r_fault_exit;
+  if r.r_speedup < 5. then
+    fail "bench06 gate: warm p50 only %.1fx better than cold (want >= 5x)@."
+      r.r_speedup;
+  List.iter
+    (fun p ->
+      match p.p_name with
+      | "overload_burst" ->
+          if p.p_overloaded = 0 then
+            fail "bench06 gate: the burst shed nothing@.";
+          if p.p_errors > 0 then
+            fail "bench06 gate: burst produced %d non-overload errors@."
+              p.p_errors
+      | "faulted" ->
+          if p.p_errors = 0 then
+            fail "bench06 gate: the seeded fault stream faulted nothing@."
+      | _ ->
+          if p.p_errors > 0 then
+            fail "bench06 gate: clean phase %s had %d errors@." p.p_name
+              p.p_errors)
+    r.r_phases;
+  !failures
+
+(* Deterministic-field comparison against the committed blob: request
+   counts pin the schedule, error counts pin the seeded fault stream. *)
+let ex18_check r path =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  (match
+     let ic = open_in path in
+     let n = in_channel_length ic in
+     let s = really_input_string ic n in
+     close_in ic;
+     Sj.parse s
+   with
+  | exception Sys_error msg -> fail "bench06 gate: %s@." msg
+  | Error msg -> fail "bench06 gate: %s is not JSON: %s@." path msg
+  | Ok j ->
+      let committed =
+        match Sj.member "phases" j with Some (Sj.A l) -> l | _ -> []
+      in
+      let find name =
+        List.find_opt
+          (fun p -> Sj.member "phase" p = Some (Sj.S name))
+          committed
+      in
+      let int_of p name =
+        match Sj.member name p with
+        | Some (Sj.N f) -> int_of_float f
+        | _ -> -1
+      in
+      List.iter
+        (fun p ->
+          match find p.p_name with
+          | None -> fail "bench06 gate: phase %s missing from %s@." p.p_name path
+          | Some c ->
+              if int_of c "requests" <> p.p_requests then
+                fail "bench06 gate: %s requests %d, blob says %d@." p.p_name
+                  p.p_requests (int_of c "requests");
+              (* the burst split depends on kernel chunking; its error
+                 counts are gated structurally, not byte-for-byte *)
+              if p.p_name <> "overload_burst" && int_of c "errors" <> p.p_errors
+              then
+                fail "bench06 gate: %s errors %d, blob says %d@." p.p_name
+                  p.p_errors (int_of c "errors"))
+        r.r_phases);
+  !failures
+
+let run_ex18 () =
+  let r, setup_errors = ex18_measure_serve () in
+  if !bench06_out <> "" then begin
+    let oc = open_out !bench06_out in
+    output_string oc (ex18_blob r);
+    close_out oc;
+    Fmt.pr "wrote EX-18 blob to %s@." !bench06_out
+  end;
+  let failures =
+    ex18_structural r setup_errors
+    + if !bench06_check <> "" then ex18_check r !bench06_check else 0
+  in
+  if failures = 0 then begin
+    Fmt.pr "bench06 gate: serve robustness envelope holds@.";
+    0
+  end
+  else 1
+
 let run_ex17 () =
   let rows = ex17_measure () in
   ex17_engines rows;
@@ -1126,6 +1590,7 @@ let () =
     let gate = run_ex17 () in
     exit (max smoke gate)
   end;
+  if !serve_bench_only then exit (run_ex18 ());
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();
@@ -1141,6 +1606,7 @@ let () =
   ablations ();
   ex14_strategies ();
   (match run_ex17 () with 0 -> () | _ -> exit 1);
+  (match run_ex18 () with 0 -> () | _ -> exit 1);
   ex15_analysis ();
   ex16_metrics_profile ();
   micro ();

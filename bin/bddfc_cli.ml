@@ -6,6 +6,8 @@
      bddfc lint FILE        static analysis: located diagnostics with witnesses
      bddfc model FILE       run the Theorem 2 pipeline on the file
      bddfc zoo [NAME]       list the paper's examples / run one
+     bddfc serve            long-lived server: newline-delimited JSON
+                            requests over stdio or a Unix-domain socket
 
    A program file contains rules, ground facts and queries in the surface
    syntax, e.g.
@@ -47,6 +49,8 @@ let exits =
        ~doc:"when the query is certain: no countermodel exists."
   :: Cmd.Exit.info exit_unknown
        ~doc:"when budgets were exhausted before a conclusion."
+  :: Cmd.Exit.info 130 ~doc:"on SIGINT (after the observability dumps run)."
+  :: Cmd.Exit.info 143 ~doc:"on SIGTERM (after the observability dumps run)."
   :: Cmd.Exit.defaults
 
 let read_file path =
@@ -227,6 +231,29 @@ let obs_term =
 
 let wall_timer = Obs.Metrics.timer "cli.wall"
 
+(* Batch commands convert SIGINT/SIGTERM into an exception so the
+   [with_obs] dump still runs and the process exits with the
+   conventional 128+signal code instead of dying dump-less.  The serve
+   loop installs its own flag-based handlers on top of these (and
+   restores them) so an interrupted server drains and exits 0. *)
+exception Interrupted of int
+
+let install_interrupt_handlers () =
+  List.filter_map
+    (fun (s, code) ->
+      match
+        Sys.signal s (Sys.Signal_handle (fun _ -> raise (Interrupted code)))
+      with
+      | prev -> Some (s, prev)
+      | exception (Invalid_argument _ | Sys_error _) -> None)
+    [ (Sys.sigint, 130); (Sys.sigterm, 143) ]
+
+let restore_interrupt_handlers saved =
+  List.iter
+    (fun (s, prev) ->
+      try Sys.set_signal s prev with Invalid_argument _ | Sys_error _ -> ())
+    saved
+
 let write_file_warn ~flag path s =
   try
     let oc = open_out path in
@@ -236,12 +263,14 @@ let write_file_warn ~flag path s =
   with Sys_error msg -> Fmt.epr "bddfc: %s: %s@." flag msg
 
 let with_obs ~cmd obs k =
+  let saved_handlers = install_interrupt_handlers () in
   let collector =
     match obs.trace_out with
     | None -> None
     | Some _ -> Some (Obs.Trace.install_collector ())
   in
   let dump () =
+    restore_interrupt_handlers saved_handlers;
     Obs.Trace.set_sink None;
     (match (obs.trace_out, collector) with
     | Some path, Some c ->
@@ -269,7 +298,11 @@ let with_obs ~cmd obs k =
   in
   Fun.protect ~finally:dump @@ fun () ->
   Obs.Metrics.time wall_timer @@ fun () ->
-  Obs.Trace.span ("cli." ^ cmd) k
+  Obs.Trace.span ("cli." ^ cmd) @@ fun () ->
+  try k ()
+  with Interrupted code ->
+    Fmt.epr "bddfc: interrupted@.";
+    code
 
 (* ----------------------------- chase ----------------------------- *)
 
@@ -620,6 +653,97 @@ let zoo_cmd =
       const run $ entry_name $ dump $ strategy_term $ eval_term $ budget_term
       $ no_preflight_term $ obs_term $ verbose_arg)
 
+(* ----------------------------- serve ------------------------------ *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve a Unix-domain socket at $(docv) (many concurrent \
+                connections) instead of stdio.  The socket file is removed \
+                on shutdown.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission bound: at most $(docv) requests are served per \
+                wake-up; the excess get immediate $(b,overloaded) replies \
+                with a retry_after_s hint instead of queueing.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 16
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Default chase-prefix depth for $(b,query) requests (kept \
+                resident per session; override per request).")
+  in
+  let inject =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-faults" ] ~docv:"SEED"
+          ~doc:"Seeded fault injection (testing): each request may draw a \
+                budget trap, a request truncation or a session poisoning \
+                from a deterministic stream.  Faulted requests always \
+                answer $(b,fault_injected) and evict their session; the \
+                server itself must survive.")
+  in
+  let run socket max_inflight rounds timeout fuel inject obs verbose =
+    setup_logs verbose;
+    with_obs ~cmd:"serve" obs @@ fun () ->
+    let config =
+      { Serve.Server.default_config with
+        deadline_s = timeout;
+        fuel;
+        max_inflight;
+        chase_rounds = rounds;
+        faults = Option.map (fun seed -> Serve.Faults.seeded ~seed) inject;
+      }
+    in
+    let t = Serve.Server.create ~config () in
+    match socket with
+    | None ->
+        Serve.Server.serve_stdio t;
+        exit_ok
+    | Some path -> (
+        try
+          Serve.Server.serve_socket t ~path;
+          exit_ok
+        with Unix.Unix_error (e, _, _) ->
+          Fmt.epr "bddfc: %s: %s@." path (Unix.error_message e);
+          exit_input_error)
+  in
+  (* serve takes the same --timeout/--fuel spelling as the batch
+     commands, but as per-request defaults rather than one governor *)
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-request wall-clock deadline; a request's own \
+                $(b,deadline_s) member takes precedence.  Expiry answers \
+                that request $(b,budget_exhausted) and evicts its session; \
+                the server keeps serving.")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Default per-request uniform fuel for every engine counter; \
+                a request's own $(b,fuel) member takes precedence.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived reasoning server: newline-delimited JSON requests \
+          (load/judge/cert/query/evict/ping/stats/shutdown) against warm \
+          sessions, with per-request deadlines, crash containment and \
+          bounded in-flight admission."
+       ~exits)
+    Term.(
+      const run $ socket $ max_inflight $ rounds $ timeout $ fuel $ inject
+      $ obs_term $ verbose_arg)
+
 let main =
   let info =
     Cmd.info "bddfc" ~version:"1.0.0"
@@ -628,7 +752,7 @@ let main =
   in
   Cmd.group info
     [ chase_cmd; rewrite_cmd; classify_cmd; lint_cmd; model_cmd; judge_cmd;
-      dot_cmd; zoo_cmd ]
+      dot_cmd; zoo_cmd; serve_cmd ]
 
 (* command-line usage errors share the input-error code so every
    "you gave me bad input" failure is scriptable as exit 2 *)

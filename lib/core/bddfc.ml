@@ -22,3 +22,4 @@ module Ptp = Bddfc_ptp
 module Finitemodel = Bddfc_finitemodel
 module Classes = Bddfc_classes
 module Workload = Bddfc_workload
+module Serve = Bddfc_serve

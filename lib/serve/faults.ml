@@ -1,0 +1,46 @@
+(* Seeded fault injection: one potential fault per request, drawn from a
+   deterministic PRNG stream (or an explicit script, for tests).  The
+   draws are the adversary; the per-request isolation barrier is the
+   defendant. *)
+
+type fault =
+  | Trap of int
+  | Truncate of int
+  | Poison
+
+exception Injected
+
+type t =
+  | Seeded of Random.State.t
+  | Scripted of fault option list ref
+
+let seeded ~seed = Seeded (Random.State.make [| seed; 0x5e2e |])
+let scripted schedule = Scripted (ref schedule)
+
+(* Half the draws fault: traps get the biggest share (they sweep every
+   budget charge point in the engines), truncation and poisoning split
+   the rest. *)
+let draw = function
+  | Scripted r -> (
+      match !r with
+      | [] -> None
+      | f :: rest ->
+          r := rest;
+          f)
+  | Seeded st -> (
+      match Random.State.int st 8 with
+      | 0 | 1 -> Some (Trap (Random.State.int st 64))
+      | 2 -> Some (Truncate (Random.State.int st 48))
+      | 3 -> Some Poison
+      | _ -> None)
+
+let describe = function
+  | Trap n -> Printf.sprintf "budget trap after %d charge points" n
+  | Truncate n -> Printf.sprintf "request truncated to %d bytes" n
+  | Poison -> "session poisoned mid-request"
+
+let apply_truncate fault line =
+  match fault with
+  | Some (Truncate keep) when String.length line > keep ->
+      String.sub line 0 keep
+  | _ -> line

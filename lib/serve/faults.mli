@@ -1,0 +1,42 @@
+(** Seeded fault injection for the serving loop.
+
+    [bddfc serve --inject-faults SEED] draws one potential fault per
+    request from a deterministic PRNG stream; the test suite instead
+    scripts an explicit fault schedule.  Whatever the fault, the
+    server's isolation-barrier contract is the same: the request yields
+    a structured [fault_injected] (or [bad_request], for a truncated
+    line) error reply, the touched session is evicted, the process
+    survives, and the next request on the connection answers correctly.
+
+    [Trap] rides on the [--fuel-trap] machinery from
+    {!Bddfc_budget.Budget.with_fuel_trap}; [Truncate] simulates a torn
+    client write by cutting the request line before parsing; [Poison]
+    raises {!Injected} mid-request, after session resolution — the
+    "request corrupts a session" shape the eviction path exists for. *)
+
+type fault =
+  | Trap of int (** force budget exhaustion after N charge points *)
+  | Truncate of int (** keep at most N bytes of the request line *)
+  | Poison (** raise {!Injected} mid-request *)
+
+exception Injected
+(** Raised by the server when a [Poison] fault fires; only the
+    per-request isolation barrier may catch it. *)
+
+type t
+
+val seeded : seed:int -> t
+(** A deterministic PRNG stream: roughly half of all draws carry a
+    fault, split across the three kinds. *)
+
+val scripted : fault option list -> t
+(** Exactly this schedule, one draw per request; [None] when the list
+    runs out. *)
+
+val draw : t -> fault option
+(** The next fault in the stream (one per request). *)
+
+val describe : fault -> string
+
+val apply_truncate : fault option -> string -> string
+(** Cut the line to the [Truncate] budget; identity for other draws. *)

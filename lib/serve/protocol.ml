@@ -1,0 +1,113 @@
+(* The wire protocol: newline-delimited JSON, one request per line, one
+   reply line per request.  Replies render their fields in a fixed order
+   so deterministic workloads produce byte-identical transcripts (the
+   cram suite pins them). *)
+
+module Json = Bddfc_obs.Obs.Json
+
+type op = Load | Judge | Cert | Query | Evict | Ping | Stats | Shutdown
+
+let op_name = function
+  | Load -> "load"
+  | Judge -> "judge"
+  | Cert -> "cert"
+  | Query -> "query"
+  | Evict -> "evict"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "load" -> Some Load
+  | "judge" -> Some Judge
+  | "cert" -> Some Cert
+  | "query" -> Some Query
+  | "evict" -> Some Evict
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = {
+  id : Json.t;
+  op : op;
+  session : string option;
+  program : string option;
+  query : string option;
+  rounds : int option;
+  deadline_s : float option;
+  fuel : int option;
+  trap : int option;
+}
+
+(* A member of the wrong type is a protocol error, never silently
+   dropped — a request must not run with different limits than its
+   author believed they set. *)
+exception Bad of string
+
+let str_member name j =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some (Json.S s) -> Some s
+  | Some _ -> raise (Bad (Printf.sprintf "%S must be a string" name))
+
+let num_member name j =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some (Json.N f) -> Some f
+  | Some _ -> raise (Bad (Printf.sprintf "%S must be a number" name))
+
+let int_member name j =
+  match num_member name j with
+  | None -> None
+  | Some f ->
+      if Float.is_integer f then Some (int_of_float f)
+      else raise (Bad (Printf.sprintf "%S must be an integer" name))
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, "bad_request", "malformed JSON: " ^ msg)
+  | Ok j -> (
+      let id = Option.value (Json.member "id" j) ~default:Json.Null in
+      match Json.member "op" j with
+      | None | Some (Json.Null) ->
+          Error (id, "bad_request", "missing \"op\" member")
+      | Some (Json.S name) -> (
+          match op_of_name name with
+          | None -> Error (id, "bad_request", "unknown op " ^ name)
+          | Some op -> (
+              try
+                Ok
+                  {
+                    id;
+                    op;
+                    session = str_member "session" j;
+                    program = str_member "program" j;
+                    query = str_member "query" j;
+                    rounds = int_member "rounds" j;
+                    deadline_s = num_member "deadline_s" j;
+                    fuel = int_member "fuel" j;
+                    trap = int_member "trap" j;
+                  }
+              with Bad msg -> Error (id, "bad_request", msg)))
+      | Some _ -> Error (id, "bad_request", "\"op\" must be a string"))
+
+let peek_id line =
+  match Json.parse line with
+  | Ok j -> Option.value (Json.member "id" j) ~default:Json.Null
+  | Error _ -> Json.Null
+
+let ok ~id ~op fields =
+  Json.to_string
+    (Json.O
+       (("id", id) :: ("ok", Json.B true)
+       :: ("op", Json.S (op_name op))
+       :: fields))
+
+let error ?(extra = []) ~id ~code msg =
+  Json.to_string
+    (Json.O
+       (("id", id) :: ("ok", Json.B false)
+       :: ("error", Json.S code)
+       :: ("message", Json.S msg)
+       :: extra))

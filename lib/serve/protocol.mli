@@ -1,0 +1,61 @@
+(** The wire protocol of [bddfc serve]: newline-delimited JSON.
+
+    One request per line, one reply line per request, in order.  A
+    request is a JSON object naming an {!op}; the reply echoes the
+    request's ["id"] member verbatim (or [null] when it is missing or
+    the line is unparseable) and carries ["ok":true] plus op-specific
+    fields, or ["ok":false] with a stable machine-readable ["error"]
+    code and a one-line ["message"].  Reply field order is fixed, so
+    replies are byte-deterministic for deterministic workloads (the cram
+    suite pins them).
+
+    The grammar is documented in DESIGN.md section 10; parsing rides on
+    {!Bddfc_obs.Obs.Json}, so the protocol adds no dependencies. *)
+
+module Json = Bddfc_obs.Obs.Json
+
+type op =
+  | Load (** parse a program into a warm session *)
+  | Judge (** full finite-controllability verdict on a session query *)
+  | Cert (** Theorem 2 pipeline: certified countermodel construction *)
+  | Query (** evaluate a CQ against the session's resident chase prefix *)
+  | Evict (** drop a session's warm state (rebuild on next use) *)
+  | Ping
+  | Stats (** server counters and session census *)
+  | Shutdown (** drain and stop *)
+
+val op_name : op -> string
+
+type request = {
+  id : Json.t; (** echoed verbatim in the reply; [Null] when absent *)
+  op : op;
+  session : string option;
+  program : string option; (** [load]: program source text *)
+  query : string option; (** [judge]/[cert]/[query]: a query, [? ...] *)
+  rounds : int option; (** [query]: chase-prefix depth override *)
+  deadline_s : float option; (** per-request deadline override *)
+  fuel : int option; (** per-request uniform fuel override *)
+  trap : int option;
+      (** fault injection: force budget exhaustion after N charge
+          points, exactly the CLI's [--fuel-trap] *)
+}
+
+val parse_request : string -> (request, Json.t * string * string) result
+(** Parse one request line.  [Error (id, code, message)] carries the
+    echoable id (when the line was at least JSON), the stable error code
+    (always [bad_request] here) and a one-line message. *)
+
+val peek_id : string -> Json.t
+(** Best-effort ["id"] extraction for replies to lines that failed
+    parsing or were never dispatched (overload). *)
+
+val ok : id:Json.t -> op:op -> (string * Json.t) list -> string
+(** [{"id":ID,"ok":true,"op":NAME,FIELDS...}] — one line, no newline. *)
+
+val error :
+  ?extra:(string * Json.t) list ->
+  id:Json.t ->
+  code:string ->
+  string ->
+  string
+(** [{"id":ID,"ok":false,"error":CODE,"message":MSG,EXTRA...}]. *)

@@ -1,0 +1,71 @@
+(* Warm sessions: parsed theory + database + lint census built eagerly
+   at load, chase prefixes and definite verdicts accumulated lazily.
+   The source text survives eviction so a poisoned session rebuilds on
+   next use instead of being served. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type warm = {
+  theory : Theory.t;
+  db : Instance.t;
+  lint : Bddfc_analysis.Diagnostic.counts;
+  chase : (int, Bddfc_chase.Chase.result) Hashtbl.t;
+  verdicts : (string, (string * Bddfc_obs.Obs.Json.t) list) Hashtbl.t;
+}
+
+type entry = {
+  source : string;
+  mutable warm : warm option;
+  mutable builds : int;
+}
+
+type store = (string, entry) Hashtbl.t
+
+let create () : store = Hashtbl.create 8
+
+let build source =
+  let p = Parser.parse_program source in
+  let theory = Theory.make p.Parser.rules in
+  let db = Instance.of_atoms p.Parser.facts in
+  let lint =
+    Bddfc_analysis.Diagnostic.count
+      (Bddfc_analysis.Analyzer.analyze_program p)
+  in
+  {
+    theory;
+    db;
+    lint;
+    chase = Hashtbl.create 4;
+    verdicts = Hashtbl.create 8;
+  }
+
+let load store ~name ~source =
+  let entry = { source; warm = Some (build source); builds = 1 } in
+  Hashtbl.replace store name entry;
+  entry
+
+let find store name = Hashtbl.find_opt store name
+
+let warm _store entry =
+  match entry.warm with
+  | Some w -> w
+  | None ->
+      (* rebuild-on-next-use after an eviction; the source parsed at
+         load time, so this can only re-raise if it did then *)
+      let w = build entry.source in
+      entry.warm <- Some w;
+      entry.builds <- entry.builds + 1;
+      w
+
+let evict store name =
+  match Hashtbl.find_opt store name with
+  | Some ({ warm = Some _; _ } as entry) ->
+      entry.warm <- None;
+      true
+  | Some { warm = None; _ } | None -> false
+
+let count store =
+  Hashtbl.fold
+    (fun _ e n -> if e.warm <> None then n + 1 else n)
+    store 0

@@ -1,0 +1,56 @@
+(** Warm sessions: the state [bddfc serve] keeps resident so repeat
+    requests skip the batch tool's per-invocation costs.
+
+    A session is loaded once from program source; its parsed theory,
+    database instance and lint census are built eagerly, and its chase
+    prefixes and definite verdicts accumulate lazily as requests reuse
+    them.  The source text is retained so eviction can be total: when a
+    request fails against a session, the server drops the warm state
+    (never the source) and the next request rebuilds from scratch —
+    poisoned state is never served.
+
+    The compiled join plans of {!Bddfc_hom.Plan} are cached per rule
+    body by physical identity, so keeping one theory value resident
+    also keeps its query plans warm across requests for free. *)
+
+open Bddfc_logic
+open Bddfc_structure
+
+type warm = {
+  theory : Theory.t;
+  db : Instance.t;
+  lint : Bddfc_analysis.Diagnostic.counts;
+  chase : (int, Bddfc_chase.Chase.result) Hashtbl.t;
+      (** resident chase prefixes, keyed by round bound; only completed
+          (non-exhausted) prefixes are cached *)
+  verdicts : (string, (string * Bddfc_obs.Obs.Json.t) list) Hashtbl.t;
+      (** memoized definite judge/cert reply fields, keyed by op and
+          query text; unknowns are never cached (a later request may
+          carry more budget) *)
+}
+
+type entry = {
+  source : string;
+  mutable warm : warm option; (** [None] after an eviction *)
+  mutable builds : int; (** parse+analyze passes, including the load *)
+}
+
+type store
+
+val create : unit -> store
+
+val load : store -> name:string -> source:string -> entry
+(** Parse, analyze and store (replacing any same-named session).
+    @raise Parser.Parse_error when the source is malformed — the store
+    is left untouched. *)
+
+val find : store -> string -> entry option
+
+val warm : store -> entry -> warm
+(** The resident state, rebuilding from source after an eviction. *)
+
+val evict : store -> string -> bool
+(** Drop the warm state; [true] if there was any to drop. *)
+
+val count : store -> int
+(** Resident (non-evicted) sessions. *)

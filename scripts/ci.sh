@@ -26,6 +26,10 @@ dune exec test/main.exe -- test budget
 # the naive vs semi-naive differential oracle, explicitly
 dune exec test/main.exe -- test differential
 
+# the serve robustness suite, explicitly: the isolation barrier,
+# fault-injection sweep, eviction, overload and metrics reconciliation
+dune exec test/main.exe -- test serve
+
 # the CLI cram suite (exit codes, diagnostics, --strategy acceptance)
 dune build @test/cli/runtest
 
@@ -38,6 +42,14 @@ dune exec bench/main.exe -- --strategy-smoke
 # deterministic probe / index-op counts must stay within 10% of the
 # committed EX-17 blob (wall times are informational only)
 dune exec bench/main.exe -- --eval-smoke --bench05-check BENCH_05.json
+
+# the serve load harness: forked server children driven through
+# cold/warm/overload/faulted phases.  Gated: both children exit 0,
+# clean phases have zero errors, the overload burst sheds, warm p50 is
+# >=5x better than cold, and the deterministic request/error counts
+# (the error-rate of the seeded fault stream) match the committed
+# EX-18 blob.  Latencies are reported, never gated.
+dune exec bench/main.exe -- --serve-bench --bench06-check BENCH_06.json
 
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;
@@ -93,5 +105,25 @@ if grep -q "Raised at" "$tmp/err"; then
   echo "ci: backtrace leaked to the user on malformed input" >&2
   exit 1
 fi
+
+# the serve contract: a protocol round-trip exits 0, a SIGTERM'd server
+# drains, dumps its metrics and still exits 0 (never 143)
+printf '{"id":1,"op":"ping"}\n{"id":2,"op":"shutdown"}\n' \
+  | dune exec bin/bddfc_cli.exe -- serve > "$tmp/serve.out"
+grep -q '"id":1,"ok":true,"op":"ping"' "$tmp/serve.out"
+dune exec bin/bddfc_cli.exe -- serve \
+  --socket "$tmp/bddfc.sock" --metrics-out "$tmp/serve_metrics.json" &
+serve_pid=$!
+for _ in $(seq 100); do [ -S "$tmp/bddfc.sock" ] && break; sleep 0.05; done
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "ci: expected exit 0 from SIGTERM'd serve, got $code" >&2
+  exit 1
+fi
+python3 -m json.tool "$tmp/serve_metrics.json" > /dev/null
 
 echo "ci: all green"

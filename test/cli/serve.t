@@ -1,0 +1,80 @@
+The serve protocol: newline-delimited JSON over stdio, one reply line
+per request, byte-deterministic field order.  The script exercises the
+whole robustness envelope — warm-session reuse (cached:true), unknown
+sessions, an injected budget trap (structured error, then eviction
+visible as cached:false on the next request), eviction, malformed and
+mistyped requests, and a drained shutdown that still exits 0.
+
+  $ cat > script.jsonl <<'EOF'
+  > {"id":1,"op":"ping"}
+  > {"id":2,"op":"load","session":"s","program":"e(X,Y) -> e(Y,X). e(a,b)."}
+  > {"id":3,"op":"query","session":"s","query":"? e(b,a)."}
+  > {"id":4,"op":"query","session":"s","query":"? e(b,a)."}
+  > {"id":5,"op":"judge","session":"s","query":"? e(a,a)."}
+  > {"id":6,"op":"cert","session":"s","query":"? e(X,X)."}
+  > {"id":7,"op":"query","session":"nope","query":"? e(a,a)."}
+  > {"id":8,"op":"judge","session":"s","query":"? e(a,a).","trap":0}
+  > {"id":9,"op":"judge","session":"s","query":"? e(a,a)."}
+  > {"id":10,"op":"evict","session":"s"}
+  > {"id":11,"op":"evict","session":"s"}
+  > not json
+  > {"id":13,"op":"query","rounds":1.5}
+  > {"id":14,"op":"shutdown"}
+  > {"id":15,"op":"ping"}
+  > EOF
+  $ bddfc serve < script.jsonl
+  {"id":1,"ok":true,"op":"ping"}
+  {"id":2,"ok":true,"op":"load","session":"s","rules":1,"facts":1,"lint_errors":0,"lint_warnings":0}
+  {"id":3,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":2,"complete":true,"cached":false}
+  {"id":4,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":2,"complete":true,"cached":true}
+  {"id":5,"ok":true,"op":"judge","session":"s","verdict":"countermodel","elements":2,"verified":true,"conjecture_applies":true,"chase_terminating":true,"cached":false}
+  {"id":6,"ok":true,"op":"cert","session":"s","result":"model","elements":2,"verified":true,"cached":false}
+  {"id":7,"ok":false,"error":"unknown_session","message":"no session named nope"}
+  {"id":8,"ok":false,"error":"budget_exhausted","message":"budget exhausted: deadline","resource":"deadline"}
+  {"id":9,"ok":true,"op":"judge","session":"s","verdict":"countermodel","elements":2,"verified":true,"conjecture_applies":true,"chase_terminating":true,"cached":false}
+  {"id":10,"ok":true,"op":"evict","session":"s","evicted":true}
+  {"id":11,"ok":true,"op":"evict","session":"s","evicted":false}
+  {"id":null,"ok":false,"error":"bad_request","message":"malformed JSON: expected null at offset 0"}
+  {"id":13,"ok":false,"error":"bad_request","message":"\"rounds\" must be an integer"}
+  {"id":14,"ok":true,"op":"shutdown","draining":true}
+  {"id":15,"ok":true,"op":"ping"}
+  $ echo $?
+  0
+
+A server-wide default fuel is overridable per request (the request's
+own limits win); a truncated line is just another bad request:
+
+  $ cat > fueled.jsonl <<'EOF'
+  > {"id":1,"op":"load","session":"d","program":"e(X,Y) -> exists Z. e(Y,Z). e(a,b)."}
+  > {"id":2,"op":"query","session":"d","query":"? e(X,Y).","rounds":3}
+  > {"id":3,"op":"judge","session":"d","query":"? e(X,X)
+  > EOF
+  $ bddfc serve --fuel 64 < fueled.jsonl
+  {"id":1,"ok":true,"op":"load","session":"d","rules":1,"facts":1,"lint_errors":0,"lint_warnings":1}
+  {"id":2,"ok":true,"op":"query","session":"d","holds":true,"rounds":3,"facts":4,"complete":false,"cached":false}
+  {"id":null,"ok":false,"error":"bad_request","message":"malformed JSON: unterminated string at offset 52"}
+  $ echo $?
+  0
+
+EOF with no shutdown request also exits cleanly (a dead client must not
+wedge the server):
+
+  $ printf '{"id":1,"op":"ping"}\n' | bddfc serve
+  {"id":1,"ok":true,"op":"ping"}
+  $ echo $?
+  0
+
+An unbindable socket path is an input error, exit 2:
+
+  $ bddfc serve --socket /nonexistent-dir/bddfc.sock
+  bddfc: /nonexistent-dir/bddfc.sock: No such file or directory
+  [2]
+
+Usage errors share the CLI's exit-2 contract:
+
+  $ bddfc serve --max-inflight not-a-number
+  bddfc: option '--max-inflight': invalid value 'not-a-number', expected an
+         integer
+  Usage: bddfc serve [OPTION]…
+  Try 'bddfc serve --help' or 'bddfc --help' for more information.
+  [2]

@@ -16,4 +16,5 @@ let () =
       Test_provenance.suite;
       Test_budget.suite;
       Test_differential.suite;
+      Test_serve.suite;
     ]
