@@ -51,6 +51,18 @@ let serve_bench_only = ref false
 let bench06_out = ref ""
 let bench06_check = ref ""
 
+(* --parallel-smoke runs only EX-19's domain-sharded chase harness:
+   every workload at 1/2/4/8 domains, gating bit-identity and the
+   deterministic counters unconditionally, and the >= 2x speedup at 4
+   domains only when the machine actually has >= 4 cores (wall times on
+   an undersized box are reported, never gated — the determinism claims
+   are the portable ones).  --bench07-out writes the table as
+   BENCH_07.json; --bench07-check gates the deterministic fields against
+   the committed blob. *)
+let parallel_smoke_only = ref false
+let bench07_out = ref ""
+let bench07_check = ref ""
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -90,12 +102,22 @@ let parse_args () =
        "FILE write EX-18's serve phase measurements (BENCH_06)");
       ("--bench06-check", Arg.Set_string bench06_check,
        "FILE fail when EX-18's deterministic counts diverge from the \
-        blob or the warm speedup drops below 5x") ]
+        blob or the warm speedup drops below 5x");
+      ("--parallel-smoke", Arg.Set parallel_smoke_only,
+       " run only EX-19's domain-sharded chase harness (bit-identity \
+        across 1/2/4/8 domains + conditional speedup); exit 1 on a \
+        violation");
+      ("--bench07-out", Arg.Set_string bench07_out,
+       "FILE write EX-19's per-domain-count measurements (BENCH_07)");
+      ("--bench07-check", Arg.Set_string bench07_check,
+       "FILE fail when EX-19's deterministic counts diverge from the \
+        blob") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
      [--obs-smoke] [--eval-smoke] [--metrics-out FILE] [--bench05-out FILE] \
      [--bench05-check FILE] [--serve-bench] [--bench06-out FILE] \
-     [--bench06-check FILE]";
+     [--bench06-check FILE] [--parallel-smoke] [--bench07-out FILE] \
+     [--bench07-check FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -591,6 +613,7 @@ let micro () =
 let strategy_name = function
   | Chase.Chase.Naive -> "naive"
   | Chase.Chase.Seminaive -> "seminaive"
+  | Chase.Chase.Parallel n -> Printf.sprintf "parallel:%d" n
 
 (* The scaling workloads: datalog saturation (transitive closure, where
    delta-driven evaluation shines) and a restricted chase with
@@ -1571,6 +1594,293 @@ let run_ex18 () =
   end
   else 1
 
+(* ------------------------------------------------------------------ *)
+(* EX-19: domain-sharded parallel chase rounds                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel engine's two claims, in one table:
+
+     1. determinism — every counter (rounds, facts, elements, join
+        probes, index ops) is identical at every domain count, and the
+        final instance is bit-identical (element ids included) to the
+        sequential semi-naive run;
+     2. speedup — on a machine with cores to spare, sharding the
+        root-split work items across domains cuts wall time.
+
+   Claim 1 is portable and gates unconditionally (here and via
+   --bench07-check against the committed blob).  Claim 2 is gated only
+   when the machine reports >= 4 cores: on an undersized box the pool
+   degrades to time-slicing and wall times are reported, never gated —
+   the committed blob records the core count it was measured on. *)
+
+type ex19_row = {
+  n_workload : string;
+  n_domains : int;
+  n_rounds : int;
+  n_facts : int;
+  n_elements : int;
+  n_probes : int;
+  n_index_ops : int;
+  n_wall_s : float;
+}
+
+let ex19_domain_counts = [ 1; 2; 4; 8 ]
+
+(* Transitive closure on a denser digraph than EX-17's (long rounds of
+   independent join work — the shape that shards well) and a wide-body
+   diamond closure (expensive sub-walks per root candidate, so each
+   work item carries real grain). *)
+let ex19_workloads () =
+  let tc = Logic.Parser.parse_theory "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let diamond =
+    Logic.Parser.parse_theory
+      "e(X,Y), e(X,Z), e(Y,W), e(Z,W) -> d(X,W). d(X,Y), d(Y,Z) -> d(X,Z)."
+  in
+  [ ("tc/digraph", tc, Gen.random_digraph ~nodes:120 ~edges:360 ~seed:11 ());
+    ("diamond", diamond, Gen.random_digraph ~nodes:60 ~edges:180 ~seed:5 ());
+  ]
+
+let ex19_run strategy theory db =
+  Chase.Chase.saturate_datalog ~strategy ?budget:!governor theory db
+
+let ex19_measure () =
+  List.concat_map
+    (fun (name, theory, db) ->
+      List.map
+        (fun domains ->
+          (* Parallel 1 is the sequential code path, so the domains=1
+             row is the honest baseline *)
+          let before = Obs.Metrics.snapshot () in
+          let r, t =
+            time_it (fun () ->
+                ex19_run (Chase.Chase.Parallel domains) theory db)
+          in
+          let delta =
+            Obs.Metrics.ints_delta ~before ~after:(Obs.Metrics.snapshot ())
+          in
+          let get k = Option.value (List.assoc_opt k delta) ~default:0 in
+          { n_workload = name;
+            n_domains = domains;
+            n_rounds = r.Chase.Chase.rounds;
+            n_facts = I.num_facts r.Chase.Chase.instance;
+            n_elements = I.num_elements r.Chase.Chase.instance;
+            n_probes = get "eval.join_probes";
+            n_index_ops = get "eval.index_ops";
+            n_wall_s = t;
+          })
+        ex19_domain_counts)
+    (ex19_workloads ())
+
+let ex19_baseline rows row =
+  List.find_opt
+    (fun r -> r.n_workload = row.n_workload && r.n_domains = 1)
+    rows
+
+let ex19_table rows =
+  header "EX-19: domain-sharded parallel chase (determinism + speedup)";
+  Fmt.pr "%-14s %-8s %-8s %-8s %-12s %-12s %-9s %s@." "workload" "domains"
+    "rounds" "facts" "probes" "index ops" "time(s)" "speedup";
+  List.iter
+    (fun row ->
+      let speedup =
+        match ex19_baseline rows row with
+        | Some b when row.n_wall_s > 0. ->
+            Printf.sprintf "%.2fx" (b.n_wall_s /. row.n_wall_s)
+        | _ -> "-"
+      in
+      Fmt.pr "%-14s %-8d %-8d %-8d %-12d %-12d %-9.3f %s@." row.n_workload
+        row.n_domains row.n_rounds row.n_facts row.n_probes row.n_index_ops
+        row.n_wall_s speedup)
+    rows
+
+(* The unconditional gates: identical deterministic fields at every
+   domain count, and a bit-identical instance (fact set with element
+   ids, per-fact births) at 4 domains vs the sequential engine. *)
+let ex19_structural rows =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  List.iter
+    (fun row ->
+      match ex19_baseline rows row with
+      | None -> fail "bench07 gate: %s lacks a domains=1 row@." row.n_workload
+      | Some b ->
+          if
+            (row.n_rounds, row.n_facts, row.n_elements, row.n_probes,
+             row.n_index_ops)
+            <> (b.n_rounds, b.n_facts, b.n_elements, b.n_probes, b.n_index_ops)
+          then
+            fail
+              "bench07 gate: %s @%d domains diverges from the sequential \
+               baseline@."
+              row.n_workload row.n_domains)
+    rows;
+  List.iter
+    (fun (name, theory, db) ->
+      let a = ex19_run Chase.Chase.Seminaive theory db in
+      let p = ex19_run (Chase.Chase.Parallel 4) theory db in
+      if not (I.equal_facts a.Chase.Chase.instance p.Chase.Chase.instance)
+      then fail "bench07 gate: %s @4 domains is not bit-identical@." name;
+      I.iter_facts
+        (fun f ->
+          if
+            I.fact_birth a.Chase.Chase.instance f
+            <> I.fact_birth p.Chase.Chase.instance f
+          then fail "bench07 gate: %s @4 domains birth stamps differ@." name)
+        a.Chase.Chase.instance)
+    (ex19_workloads ());
+  let cores = Domain.recommended_domain_count () in
+  List.iter
+    (fun (name, _, _) ->
+      let wall n =
+        match
+          List.find_opt
+            (fun r -> r.n_workload = name && r.n_domains = n)
+            rows
+        with
+        | Some r -> r.n_wall_s
+        | None -> 0.
+      in
+      let speedup = if wall 4 > 0. then wall 1 /. wall 4 else 0. in
+      if cores >= 4 then begin
+        if speedup < 2. then
+          fail
+            "bench07 gate: %s speedup at 4 domains only %.2fx on %d cores \
+             (want >= 2x)@."
+            name speedup cores
+      end
+      else
+        Fmt.pr
+          "bench07: %s speedup %.2fx reported only (%d core(s) — the >= 2x \
+           gate needs 4)@."
+          name speedup cores)
+    (ex19_workloads ());
+  !failures
+
+(* BENCH_07.json: one row object per (workload, domain count), plus the
+   core count the wall times were measured on.  --bench07-check gates
+   the deterministic fields exactly (they are counter-identical runs,
+   not statistics); wall_s and speedup are context, never gated. *)
+let ex19_blob rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"experiment\":\"EX-19\",\"cores\":%d,\"rows\":[\n"
+       (Domain.recommended_domain_count ()));
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let speedup =
+        match ex19_baseline rows row with
+        | Some base when row.n_wall_s > 0. -> base.n_wall_s /. row.n_wall_s
+        | _ -> 1.
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"workload\":\"%s\",\"domains\":%d,\"rounds\":%d,\"facts\":%d,\
+            \"elements\":%d,\"probes\":%d,\"index_ops\":%d,\"wall_s\":%.6f,\
+            \"speedup\":%.3f}"
+           row.n_workload row.n_domains row.n_rounds row.n_facts
+           row.n_elements row.n_probes row.n_index_ops row.n_wall_s speedup))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let ex19_write_blob rows path =
+  let oc = open_out path in
+  output_string oc (ex19_blob rows);
+  close_out oc;
+  Fmt.pr "wrote EX-19 blob to %s@." path
+
+(* Same line-scraping as the BENCH_05 reader: every row carries its
+   fields on one line, and a malformed blob fails the gate. *)
+let ex19_read_blob path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let field name =
+         let tag = Printf.sprintf "\"%s\":" name in
+         let tlen = String.length tag and llen = String.length line in
+         let rec find from =
+           if from + tlen > llen then None
+           else if String.sub line from tlen = tag then Some (from + tlen)
+           else find (from + 1)
+         in
+         match find 0 with
+         | None -> None
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < llen
+               && (match line.[!stop] with
+                  | '0' .. '9' | '"' | '/' | 'a' .. 'z' | '.' | '-' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             Some (String.sub line start (!stop - start))
+       in
+       match
+         ( field "workload", field "domains", field "rounds", field "facts",
+           field "elements", field "probes", field "index_ops" )
+       with
+       | Some w, Some d, Some r, Some f, Some e, Some p, Some io ->
+           let unquote s = String.concat "" (String.split_on_char '"' s) in
+           rows :=
+             ( unquote w, int_of_string d,
+               (int_of_string r, int_of_string f, int_of_string e,
+                int_of_string p, int_of_string io) )
+             :: !rows
+       | _ -> ()
+     done
+   with
+  | End_of_file -> close_in ic
+  | e -> close_in ic; raise e);
+  List.rev !rows
+
+let ex19_check rows path =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  (match ex19_read_blob path with
+  | exception Sys_error msg -> fail "bench07 gate: %s@." msg
+  | blob ->
+      List.iter
+        (fun row ->
+          match
+            List.find_opt
+              (fun (w, d, _) -> w = row.n_workload && d = row.n_domains)
+              blob
+          with
+          | None ->
+              fail "bench07 gate: %s @%d missing from %s@." row.n_workload
+                row.n_domains path
+          | Some (_, _, committed) ->
+              let now =
+                ( row.n_rounds, row.n_facts, row.n_elements, row.n_probes,
+                  row.n_index_ops )
+              in
+              if now <> committed then
+                fail
+                  "bench07 gate: %s @%d deterministic counts diverge from \
+                   %s@."
+                  row.n_workload row.n_domains path)
+        rows);
+  !failures
+
+let run_ex19 () =
+  let rows = ex19_measure () in
+  ex19_table rows;
+  if !bench07_out <> "" then ex19_write_blob rows !bench07_out;
+  let failures =
+    ex19_structural rows
+    + if !bench07_check <> "" then ex19_check rows !bench07_check else 0
+  in
+  if failures = 0 then begin
+    Fmt.pr "bench07 gate: parallel chase determinism holds@.";
+    0
+  end
+  else 1
+
 let run_ex17 () =
   let rows = ex17_measure () in
   ex17_engines rows;
@@ -1591,6 +1901,7 @@ let () =
     exit (max smoke gate)
   end;
   if !serve_bench_only then exit (run_ex18 ());
+  if !parallel_smoke_only then exit (run_ex19 ());
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();

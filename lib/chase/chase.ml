@@ -53,6 +53,22 @@ type variant =
 type strategy =
   | Naive
   | Seminaive
+  | Parallel of int
+
+(* The default strategy honours BDDFC_TEST_DOMAINS (n >= 2 -> Parallel n)
+   so the CI multi-domain lane can push the whole tier-1 suite through
+   the parallel engine without touching call sites; read once, lazily. *)
+let default_strategy =
+  let v =
+    lazy
+      (match Sys.getenv_opt "BDDFC_TEST_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 2 -> Parallel n
+          | _ -> Seminaive)
+      | None -> Seminaive)
+  in
+  fun () -> Lazy.force v
 
 type outcome =
   | Fixpoint (* no trigger fired: the result is a model *)
@@ -144,20 +160,253 @@ type round_stats = {
   nulls : int; (* labelled nulls invented this round *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* The parallel round                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The [Parallel n] round is the semi-naive round, fork-joined:
+
+     phase A (coordinator)  build each rule's passes with their root
+                            access paths and materialized root candidates
+                            (Eval.passes — the deterministic first step
+                            of the sequential enumeration), and chunk the
+                            candidate ranges into jobs;
+     phase B (pool)         evaluate jobs read-only against the committed
+                            prefix: enumerate bindings (Eval.pass_run),
+                            precompute witness verdicts and demand keys,
+                            collect into per-job slots (counters divert
+                            to per-domain shards, merged at the barrier);
+     phase C (coordinator)  replay the candidates in job order — which is
+                            (rule, pass, root candidate, sub-walk) order,
+                            i.e. exactly the sequential enumeration
+                            order — performing all mutation and budget
+                            charging.
+
+   Everything order-sensitive (fact insertion, demand dedup, null ids,
+   fuel-trap charge points) happens in phase C on one domain in the
+   sequential order, so the result instance is bit-identical to the
+   Seminaive strategy's for every domain count and any scheduling.
+   Workers never charge the governor (they poll the non-ticking
+   Budget.deadline_expired and bail early); the canonical trip happens at
+   a coordinator charge point.  Phase B may only *read* the instance:
+   mid-round commits do not exist yet, and the birth windows already
+   guarantee the sequential round's evaluation never sees its own round's
+   writes — the invariant that makes this fork-join sound (DESIGN.md
+   section 11).
+
+   The commit logic in phase C must stay in lockstep with the sequential
+   [round] body below: both are the restricted-chase commit semantics,
+   one streamed, one replayed. *)
+
+type pcand =
+  | Pdatalog of Eval.binding
+  | Pexist of { pc_binding : Eval.binding; pc_fire : bool; pc_key : string }
+
+type pjob = {
+  pj_rule : Rule.t;
+  pj_datalog : bool;
+  pj_frontier : Rule.SS.t;
+  pj_head_prep : Eval.prepared option; (* restricted existential only *)
+  pj_pass : Eval.pass;
+  pj_lo : int;
+  pj_hi : int; (* root-candidate range [lo, hi) *)
+  mutable pj_out : pcand list; (* enumeration order, after the batch *)
+}
+
+let chunks_per_domain = 4
+
+let oblivious_key rule binding =
+  Rule.name rule ^ "#"
+  ^ String.concat ","
+      (List.map
+         (fun (x, id) -> x ^ ":" ^ string_of_int id)
+         (Smap.bindings binding))
+
+let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
+    theory inst =
+  Obs.Metrics.incr m_rounds;
+  let since = round_no - 1 and upto = round_no in
+  let pool = Shard.shared_pool domains in
+  (* phase A *)
+  let jobs = ref [] in
+  List.iter
+    (fun rule ->
+      if (not datalog_only) || Rule.is_datalog rule then begin
+        let body_prep = Eval.prepare (Rule.body rule) in
+        let is_datalog = Rule.is_datalog rule in
+        let head_prep =
+          if is_datalog || variant = Oblivious then None
+          else Some (Eval.prepare (Rule.head rule))
+        in
+        let frontier = Rule.frontier rule in
+        List.iter
+          (fun pass ->
+            let ncands = Eval.pass_candidates pass in
+            if ncands > 0 then begin
+              let nchunks = min ncands (domains * chunks_per_domain) in
+              let base = ncands / nchunks and rem = ncands mod nchunks in
+              let lo = ref 0 in
+              for c = 0 to nchunks - 1 do
+                let len = base + if c < rem then 1 else 0 in
+                jobs :=
+                  {
+                    pj_rule = rule;
+                    pj_datalog = is_datalog;
+                    pj_frontier = frontier;
+                    pj_head_prep = head_prep;
+                    pj_pass = pass;
+                    pj_lo = !lo;
+                    pj_hi = !lo + len;
+                    pj_out = [];
+                  }
+                  :: !jobs;
+                lo := !lo + len
+              done
+            end)
+          (Eval.passes ~since ~upto inst body_prep)
+      end)
+    (Theory.rules theory);
+  let jobs = Array.of_list (List.rev !jobs) in
+  (* phase B *)
+  let work j =
+    let job = jobs.(j) in
+    if not (Budget.deadline_expired budget) then begin
+      let out = ref [] in
+      let yield =
+        if job.pj_datalog then fun binding ->
+          out := Pdatalog binding :: !out
+        else fun binding ->
+          let pc_fire =
+            match variant with
+            | Oblivious -> true
+            | Restricted ->
+                let init =
+                  Smap.filter
+                    (fun x _ -> Rule.SS.mem x job.pj_frontier)
+                    binding
+                in
+                not
+                  (Eval.satisfiable_prepared ~init ~upto inst
+                     (Option.get job.pj_head_prep))
+          in
+          let pc_key =
+            match variant with
+            | Oblivious -> oblivious_key job.pj_rule binding
+            | Restricted -> demand_key job.pj_rule binding
+          in
+          out := Pexist { pc_binding = binding; pc_fire; pc_key } :: !out
+      in
+      let c = ref job.pj_lo in
+      while !c < job.pj_hi && not (Budget.deadline_expired budget) do
+        Eval.pass_run inst job.pj_pass ~cand:!c yield;
+        incr c
+      done;
+      job.pj_out <- List.rev !out
+    end
+  in
+  Obs.Metrics.Shard.start ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.Shard.stop_and_merge ())
+    (fun () -> Shard.run pool ~njobs:(Array.length jobs) work);
+  (* Workers bail (truncating their pj_out) when the deadline passes; a
+     truncated round must surface as exhaustion, never as a bogus
+     zero-added fixpoint, so the canonical raising check sits at the
+     join — guarded by the pure probe, because check_deadline also
+     ticks the fuel trap and an unconditional call would shift trap
+     points relative to the sequential engine. *)
+  if Budget.deadline_expired budget then Budget.check_deadline budget;
+  (* phase C — keep in lockstep with the sequential body of [round] *)
+  let added = ref 0 in
+  let stats = ref { fired_datalog = 0; fired_existential = 0; nulls = 0 } in
+  let add f =
+    if Instance.add_fact ~birth:round_no inst f then begin
+      incr added;
+      Obs.Metrics.incr m_facts;
+      Budget.charge budget Budget.Facts 1;
+      true
+    end
+    else false
+  in
+  let demanded =
+    match fired with Some t -> t | None -> Hashtbl.create 64
+  in
+  Array.iter
+    (fun job ->
+      List.iter
+        (fun cand ->
+          match cand with
+          | Pdatalog binding ->
+              List.iter
+                (fun head_atom ->
+                  let f =
+                    instantiate inst binding
+                      (fun x ->
+                        invalid_arg ("Chase.round: unbound head variable " ^ x))
+                      head_atom
+                  in
+                  if add f then
+                    stats :=
+                      { !stats with fired_datalog = !stats.fired_datalog + 1 })
+                (Rule.head job.pj_rule)
+          | Pexist { pc_binding; pc_fire; pc_key } ->
+              if pc_fire && not (Hashtbl.mem demanded pc_key) then begin
+                Hashtbl.replace demanded pc_key ();
+                let parent =
+                  List.fold_left
+                    (fun acc a ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          List.fold_left
+                            (fun acc' t ->
+                              match (acc', t) with
+                              | Some _, _ -> acc'
+                              | None, Term.Var x -> Smap.find_opt x pc_binding
+                              | None, Term.Cst _ -> None)
+                            None (Atom.args a))
+                    None (Rule.head job.pj_rule)
+                in
+                let fresh_cache = Hashtbl.create 4 in
+                let fresh x =
+                  match Hashtbl.find_opt fresh_cache x with
+                  | Some id -> id
+                  | None ->
+                      Budget.charge budget Budget.Elements 1;
+                      let id =
+                        Instance.fresh_null inst ~birth:round_no
+                          ~rule:(Rule.name job.pj_rule) ~parent
+                      in
+                      Obs.Metrics.incr m_nulls;
+                      stats := { !stats with nulls = !stats.nulls + 1 };
+                      Hashtbl.replace fresh_cache x id;
+                      id
+                in
+                List.iter
+                  (fun head_atom ->
+                    ignore (add (instantiate inst pc_binding fresh head_atom)))
+                  (Rule.head job.pj_rule);
+                stats :=
+                  { !stats with
+                    fired_existential = !stats.fired_existential + 1;
+                  }
+              end)
+        job.pj_out)
+    jobs;
+  (!added, !stats)
+
 (* One simultaneous chase round on [inst].  Returns the number of facts
    added.  Body evaluation and witness checks read the state at the start
    of the round: a full copy under the Naive strategy, the committed
-   prefix of [inst] itself (births < round_no, in place) under Seminaive.
-   New facts are stamped with [round_no] as their birth.  Fresh elements
-   and added facts are charged to [budget]; a trip mid-round leaves a
-   partial round behind (best effort). *)
-let round ?(variant = Restricted) ?(strategy = Seminaive) ?eval
-    ?(datalog_only = false) ?fired ~(budget : Budget.t) ~round_no theory inst
-    =
+   prefix of [inst] itself (births < round_no, in place) under Seminaive
+   and Parallel.  New facts are stamped with [round_no] as their birth.
+   Fresh elements and added facts are charged to [budget]; a trip
+   mid-round leaves a partial round behind (best effort). *)
+let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
+    ~(budget : Budget.t) ~round_no theory inst =
   let snapshot, upto =
     match strategy with
     | Naive -> (Instance.copy inst, None)
-    | Seminaive -> (inst, Some round_no)
+    | Seminaive | Parallel _ -> (inst, Some round_no)
   in
   Obs.Metrics.incr m_rounds;
   let added = ref 0 in
@@ -177,7 +426,7 @@ let round ?(variant = Restricted) ?(strategy = Seminaive) ?eval
   let iter_bindings rule yield =
     match strategy with
     | Naive -> Eval.iter_solutions ?engine:eval snapshot (Rule.body rule) yield
-    | Seminaive ->
+    | Seminaive | Parallel _ ->
         Eval.iter_solutions_delta ~since:(round_no - 1) ~upto:round_no
           ?engine:eval inst (Rule.body rule) yield
   in
@@ -271,6 +520,25 @@ let round ?(variant = Restricted) ?(strategy = Seminaive) ?eval
     (Theory.rules theory);
   (!added, !stats)
 
+(* Dispatch.  [Parallel n] with [n <= 1] is literally the sequential
+   Seminaive code path (one domain, no pool, no sharded counters) — the
+   parallel machinery only engages at [n >= 2].  The parallel path always
+   evaluates with the compiled engine ([?eval] is a sequential-only
+   knob); its result is bit-identical to [Seminaive] under the default
+   compiled engine. *)
+let round ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
+    ?fired ~(budget : Budget.t) ~round_no theory inst =
+  let strategy =
+    match strategy with Some s -> s | None -> default_strategy ()
+  in
+  match strategy with
+  | Parallel n when n >= 2 ->
+      parallel_round ~variant ~domains:n ~datalog_only ?fired ~budget
+        ~round_no theory inst
+  | Naive | Seminaive | Parallel _ ->
+      sequential_round ~variant ~strategy ?eval ~datalog_only ?fired ~budget
+        ~round_no theory inst
+
 let default_rounds = 64
 let default_elements = 100_000
 
@@ -287,12 +555,17 @@ let effective_budget ?budget ?max_rounds ?max_elements () =
         ~elements:(Option.value max_elements ~default:default_elements)
         ()
 
-let strategy_tag = function Naive -> "naive" | Seminaive -> "seminaive"
+let strategy_tag = function
+  | Naive -> "naive"
+  | Seminaive -> "seminaive"
+  | Parallel n -> "parallel:" ^ string_of_int n
 let variant_tag = function Restricted -> "restricted" | Oblivious -> "oblivious"
 
-let run ?(variant = Restricted) ?(strategy = Seminaive) ?eval
-    ?(datalog_only = false) ?watch ?budget ?max_rounds ?max_elements theory
-    base =
+let run ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
+    ?watch ?budget ?max_rounds ?max_elements theory base =
+  let strategy =
+    match strategy with Some s -> s | None -> default_strategy ()
+  in
   let budget = effective_budget ?budget ?max_rounds ?max_elements () in
   Obs.Metrics.incr m_runs;
   Obs.Metrics.time t_run @@ fun () ->

@@ -102,17 +102,20 @@ let run ?(strategy = Chase.Seminaive) ?eval ?budget ?max_rounds
       let round_no = i + 1 in
       (* the state this round's bodies and witness checks see: a copied
          snapshot (Naive) or the committed prefix of the live instance
-         through birth windows (Seminaive) *)
+         through birth windows (Seminaive).  The replay is inherently
+         sequential — [Parallel] reduces to the semi-naive windows here,
+         which is sound because the parallel engine's result is
+         bit-identical to Seminaive's. *)
       let snapshot, upto =
         match strategy with
         | Chase.Naive -> (Instance.copy inst, None)
-        | Chase.Seminaive -> (inst, Some round_no)
+        | Chase.Seminaive | Chase.Parallel _ -> (inst, Some round_no)
       in
       let iter_bindings rule yield =
         match strategy with
         | Chase.Naive ->
             Eval.iter_solutions ?engine:eval snapshot (Rule.body rule) yield
-        | Chase.Seminaive ->
+        | Chase.Seminaive | Chase.Parallel _ ->
             Eval.iter_solutions_delta ~since:i ~upto:round_no ?engine:eval
               inst (Rule.body rule) yield
       in

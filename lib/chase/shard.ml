@@ -1,0 +1,230 @@
+(* The reusable domain pool behind the [Parallel] chase strategy.
+
+   A pool owns [size - 1] spawned worker domains parked on a condition
+   variable; the coordinating domain (the one calling [run]) is the
+   remaining member.  [run] installs a batch of [njobs] independent jobs,
+   wakes the workers, and joins them at a barrier: jobs are claimed with
+   an atomic fetch-and-add over a claim-order array (work stealing —
+   scheduling is free to vary, which is exactly why the chase's merge
+   step orders by job index, never by completion order), each job writes
+   only into its own result slot owned by the caller, and [run] returns
+   once every claimed job has finished.  An exception escaping a job is
+   captured (first one wins), remaining jobs are drained without being
+   executed, and the exception is re-raised from [run] on the
+   coordinating domain.
+
+   Chaos hooks for the metamorphic suite: [set_chaos] installs a seeded
+   perturbation that (a) shuffles the claim order and (b) injects
+   per-job busy-wait delays.  Neither may change any observable result —
+   the merged instance, the counter totals — because job slots and merge
+   order are index-addressed; the tests hold the engine to that.
+
+   The pool never busy-waits between batches (workers block on the
+   condition variable), so an idle pool costs nothing and a pool on a
+   machine with fewer cores than domains degrades to time-slicing rather
+   than spinning.  [at_exit] shuts the shared pool down so the runtime
+   never waits on parked domains. *)
+
+type chaos = { chaos_seed : int; chaos_max_delay_us : int }
+
+let chaos : chaos option ref = ref None
+let set_chaos c = chaos := c
+
+(* splitmix-style hash, good enough to derive per-job perturbations *)
+let mix seed i =
+  let z = (seed * 0x9e3779b9) lxor (i * 0x85ebca6b) in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
+  (z lxor (z lsr 16)) land max_int
+
+type batch = {
+  b_run : int -> unit; (* the job body; must not raise Exhausted etc. *)
+  b_order : int array; (* claim order (identity, or a chaos shuffle) *)
+  b_next : int Atomic.t; (* next claim-order slot *)
+  b_done : int Atomic.t; (* jobs fully finished *)
+  b_total : int;
+}
+
+type pool = {
+  p_size : int; (* total domains: spawned workers + the coordinator *)
+  mutable p_workers : unit Domain.t list;
+  p_mu : Mutex.t;
+  p_work : Condition.t; (* wakes workers: new batch or shutdown *)
+  p_idle : Condition.t; (* wakes the coordinator: batch finished *)
+  mutable p_batch : batch option;
+  mutable p_gen : int; (* batch generation, so workers never re-run one *)
+  mutable p_busy : int; (* workers still inside the current batch *)
+  mutable p_stop : bool;
+  mutable p_failed : exn option;
+}
+
+let size p = p.p_size
+
+let delay_for ~seed ~job ~max_us =
+  if max_us > 0 then begin
+    let us = mix seed job mod (max_us + 1) in
+    let until = Unix.gettimeofday () +. (float_of_int us /. 1e6) in
+    (* busy-wait: sleeping microseconds reliably is not portable, and the
+       point is only to perturb interleavings *)
+    while Unix.gettimeofday () < until do
+      Domain.cpu_relax ()
+    done
+  end
+
+(* Drain jobs from the current batch; both workers and the coordinator
+   run this.  Every claimed slot is accounted in [b_done] even when a
+   previous failure suppresses execution, so the barrier cannot hang. *)
+let drain pool batch =
+  let n = Array.length batch.b_order in
+  let rec go () =
+    let slot = Atomic.fetch_and_add batch.b_next 1 in
+    if slot < n then begin
+      let job = batch.b_order.(slot) in
+      (match !chaos with
+      | Some c ->
+          delay_for ~seed:c.chaos_seed ~job ~max_us:c.chaos_max_delay_us
+      | None -> ());
+      (if pool.p_failed = None then
+         try batch.b_run job
+         with e ->
+           Mutex.lock pool.p_mu;
+           if pool.p_failed = None then pool.p_failed <- Some e;
+           Mutex.unlock pool.p_mu);
+      Atomic.incr batch.b_done;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop pool =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.p_mu;
+    while (not pool.p_stop) && (pool.p_batch = None || pool.p_gen = !seen) do
+      Condition.wait pool.p_work pool.p_mu
+    done;
+    if pool.p_stop then Mutex.unlock pool.p_mu
+    else begin
+      let batch = Option.get pool.p_batch in
+      seen := pool.p_gen;
+      pool.p_busy <- pool.p_busy + 1;
+      Mutex.unlock pool.p_mu;
+      drain pool batch;
+      Mutex.lock pool.p_mu;
+      pool.p_busy <- pool.p_busy - 1;
+      if pool.p_busy = 0 then Condition.signal pool.p_idle;
+      Mutex.unlock pool.p_mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  if size < 1 then invalid_arg "Shard.create: size must be >= 1";
+  let pool =
+    {
+      p_size = size;
+      p_workers = [];
+      p_mu = Mutex.create ();
+      p_work = Condition.create ();
+      p_idle = Condition.create ();
+      p_batch = None;
+      p_gen = 0;
+      p_busy = 0;
+      p_stop = false;
+      p_failed = None;
+    }
+  in
+  pool.p_workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.p_mu;
+  pool.p_stop <- true;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_mu;
+  List.iter Domain.join pool.p_workers;
+  pool.p_workers <- []
+
+let run pool ~njobs f =
+  if njobs > 0 then begin
+    let order = Array.init njobs (fun i -> i) in
+    (match !chaos with
+    | Some c ->
+        (* seeded Fisher–Yates over the claim order; result slots are
+           index-addressed, so this perturbs only the schedule *)
+        for i = njobs - 1 downto 1 do
+          let j = mix c.chaos_seed i mod (i + 1) in
+          let t = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- t
+        done
+    | None -> ());
+    let batch =
+      {
+        b_run = f;
+        b_order = order;
+        b_next = Atomic.make 0;
+        b_done = Atomic.make 0;
+        b_total = njobs;
+      }
+    in
+    Mutex.lock pool.p_mu;
+    pool.p_failed <- None;
+    pool.p_batch <- Some batch;
+    pool.p_gen <- pool.p_gen + 1;
+    Condition.broadcast pool.p_work;
+    Mutex.unlock pool.p_mu;
+    (* the coordinator pulls its weight ... *)
+    drain pool batch;
+    (* ... then waits for the stragglers at the barrier *)
+    Mutex.lock pool.p_mu;
+    while pool.p_busy > 0 || Atomic.get batch.b_done < batch.b_total do
+      if pool.p_busy > 0 then Condition.wait pool.p_idle pool.p_mu
+      else begin
+        (* all workers parked but a claimed job still finishing: only
+           possible in a tiny window; yield rather than spin hard *)
+        Mutex.unlock pool.p_mu;
+        Domain.cpu_relax ();
+        Mutex.lock pool.p_mu
+      end
+    done;
+    pool.p_batch <- None;
+    let failed = pool.p_failed in
+    pool.p_failed <- None;
+    Mutex.unlock pool.p_mu;
+    match failed with Some e -> raise e | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The shared pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide pool, sized on demand and resized by draining the
+   old pool first.  [at_exit] tears it down so process exit never races
+   parked domains. *)
+let shared : pool option ref = ref None
+let cleanup_registered = ref false
+
+let shared_pool size =
+  let fresh () =
+    if not !cleanup_registered then begin
+      cleanup_registered := true;
+      at_exit (fun () ->
+          match !shared with
+          | Some p ->
+              shared := None;
+              shutdown p
+          | None -> ())
+    end;
+    let p = create size in
+    shared := Some p;
+    p
+  in
+  match !shared with
+  | Some p when p.p_size = size -> p
+  | Some p ->
+      shared := None;
+      shutdown p;
+      fresh ()
+  | None -> fresh ()

@@ -1,0 +1,52 @@
+(** The reusable domain pool behind the [Parallel] chase strategy.
+
+    A pool of [size] domains: [size - 1] spawned workers parked on a
+    condition variable plus the coordinating caller.  {!run} executes a
+    batch of independent jobs across the pool with atomic work stealing
+    and returns at a barrier once every job has finished; scheduling is
+    unconstrained (and perturbable, see {!set_chaos}), so callers must
+    make their results order-independent — the chase does this by giving
+    every job its own result slot and merging by job index, never by
+    completion order.
+
+    Exceptions escaping a job are captured (first one wins), the
+    remaining jobs are drained unexecuted, and the exception is re-raised
+    from {!run} on the coordinating domain.
+
+    Between batches the pool blocks (no busy-waiting); one process-wide
+    pool is kept warm by {!shared_pool} and torn down by [at_exit]. *)
+
+type pool
+
+val create : int -> pool
+(** [create size] spawns [size - 1] worker domains.
+    @raise Invalid_argument when [size < 1]. *)
+
+val size : pool -> int
+
+val run : pool -> njobs:int -> (int -> unit) -> unit
+(** Execute [f j] for every [j] in [0 .. njobs - 1] across the pool
+    (including the calling domain) and wait for all of them.  The jobs
+    must only share read-only state plus their own result slots. *)
+
+val shutdown : pool -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)
+
+val shared_pool : int -> pool
+(** The process-wide pool, created on first use and recreated (draining
+    the old one) when a different size is requested. *)
+
+(** {1 Chaos hooks — metamorphic tests}
+
+    A seeded perturbation of {!run}'s scheduling: the claim order is
+    shuffled (Fisher–Yates from the seed) and every job is prefixed with
+    a derived busy-wait delay.  Must be observationally inert — the
+    merged chase result and the counter totals cannot depend on it —
+    which is what test/test_parallel.ml verifies. *)
+
+type chaos = {
+  chaos_seed : int;
+  chaos_max_delay_us : int; (** 0 = shuffle only *)
+}
+
+val set_chaos : chaos option -> unit

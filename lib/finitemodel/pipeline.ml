@@ -62,7 +62,7 @@ let default_params =
     rewrite_max_steps = 2_000;
     saturation_rounds = 10_000;
     budget = None;
-    strategy = Chase.Seminaive;
+    strategy = Chase.default_strategy ();
     eval = Eval.Compiled;
     preflight = true;
   }

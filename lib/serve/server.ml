@@ -38,6 +38,10 @@ type config = {
   chase_rounds : int;
   max_line_bytes : int;
   faults : Faults.t option;
+  strategy : Chase.strategy;
+      (* chase strategy for every request; [Parallel n] reuses one warm
+         domain pool across requests.  Results are bit-identical to
+         [Seminaive] regardless, so --domains never changes replies. *)
 }
 
 let default_config =
@@ -48,6 +52,7 @@ let default_config =
     chase_rounds = 16;
     max_line_bytes = 1 lsl 20;
     faults = None;
+    strategy = Chase.default_strategy ();
   }
 
 type t = {
@@ -232,8 +237,8 @@ let dispatch t ~fault (r : Protocol.request) =
         | Some res -> (true, res)
         | None ->
             let res =
-              Chase.run ~budget:b ~max_rounds:rounds w.Session.theory
-                w.Session.db
+              Chase.run ~strategy:t.config.strategy ~budget:b
+                ~max_rounds:rounds w.Session.theory w.Session.db
             in
             (* a prefix truncated at the requested depth is the queryable
                object; any other exhaustion is a failed request and the
@@ -265,7 +270,10 @@ let dispatch t ~fault (r : Protocol.request) =
         let jb =
           { Judge.default_budget with
             pipeline_params =
-              { Pipeline.default_params with budget = Some b };
+              { Pipeline.default_params with
+                budget = Some b;
+                strategy = t.config.strategy;
+              };
           }
         in
         judge_fields (Judge.judge ~budget:jb w.Session.theory w.Session.db q)
@@ -277,7 +285,12 @@ let dispatch t ~fault (r : Protocol.request) =
       let fields =
         memoized w ("cert:" ^ qtext) ~session:name @@ fun () ->
         let q = Parser.parse_query qtext in
-        let params = { Pipeline.default_params with budget = Some b } in
+        let params =
+          { Pipeline.default_params with
+            budget = Some b;
+            strategy = t.config.strategy;
+          }
+        in
         cert_fields (Pipeline.construct ~params w.Session.theory w.Session.db q)
       in
       (Protocol.Cert, fields)

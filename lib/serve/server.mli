@@ -38,11 +38,14 @@ type config = {
   chase_rounds : int; (** default resident chase-prefix depth *)
   max_line_bytes : int; (** request lines above this are rejected *)
   faults : Faults.t option; (** fault injection, off by default *)
+  strategy : Bddfc_chase.Chase.strategy;
+      (** chase strategy for every request ([--domains] on the CLI);
+          replies are bit-identical across strategies *)
 }
 
 val default_config : config
 (** No deadline, no fuel, 64 in-flight, 16 chase rounds, 1 MiB lines,
-    no faults. *)
+    no faults, {!Bddfc_chase.Chase.default_strategy}. *)
 
 type t
 

@@ -30,6 +30,17 @@ dune exec test/main.exe -- test differential
 # fault-injection sweep, eviction, overload and metrics reconciliation
 dune exec test/main.exe -- test serve
 
+# the parallel-chase differential/chaos suite, explicitly: bit-identity
+# to the sequential engine at 1/2/4/8 domains over the zoo and 100
+# random theories, chaos scheduling inertness, fuel-trap determinism
+dune exec test/main.exe -- test parallel
+
+# the multi-domain lane: the whole tier-1 suite again with every
+# defaulted chase strategy forced to Parallel 4 (the env hook behind
+# Chase.default_strategy), so each suite doubles as a differential
+# oracle against its own sequential run above
+BDDFC_TEST_DOMAINS=4 dune runtest --force
+
 # the CLI cram suite (exit codes, diagnostics, --strategy acceptance)
 dune build @test/cli/runtest
 
@@ -50,6 +61,13 @@ dune exec bench/main.exe -- --eval-smoke --bench05-check BENCH_05.json
 # (the error-rate of the seeded fault stream) match the committed
 # EX-18 blob.  Latencies are reported, never gated.
 dune exec bench/main.exe -- --serve-bench --bench06-check BENCH_06.json
+
+# the parallel-chase smoke (EX-19): every workload at 1/2/4/8 domains
+# must produce identical rounds/facts/probes/index-op counts and a
+# bit-identical instance, matching the committed BENCH_07 blob exactly.
+# The >= 2x speedup at 4 domains is gated only on machines with >= 4
+# cores; wall times are reported either way.
+dune exec bench/main.exe -- --parallel-smoke --bench07-check BENCH_07.json
 
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;

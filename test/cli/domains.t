@@ -1,0 +1,90 @@
+Every chase-running subcommand accepts --domains N.  The parallel
+engine is bit-identical to the sequential one, so output bytes and exit
+codes never depend on the domain count — only wall-clock time does.
+
+  $ cat > prog.bddfc <<'EOF'
+  > p(X) -> exists Y. e(X,Y).
+  > e(X,Y) -> q(Y).
+  > p(a).
+  > ? q(X).
+  > EOF
+
+chase: byte-identical output at 1 and 4 domains.
+
+  $ bddfc chase --domains 1 prog.bddfc > d1.out
+  $ bddfc chase --domains 4 prog.bddfc > d4.out
+  $ diff d1.out d4.out
+  $ grep -- '-- rounds' d4.out
+  -- rounds: 2, elements: 2, facts: 3, fixpoint (the result is a model)
+
+rewrite and classify accept (and ignore) the flag:
+
+  $ bddfc rewrite --domains 4 prog.bddfc > /dev/null
+  $ echo $?
+  0
+  $ bddfc classify --domains 4 prog.bddfc > /dev/null
+  $ echo $?
+  0
+
+model and judge thread it through the pipeline; output and exit codes
+are domain-count-independent:
+
+  $ bddfc model --domains 1 prog.bddfc > d1.out
+  [3]
+  $ bddfc model --domains 4 prog.bddfc > d4.out
+  [3]
+  $ diff d1.out d4.out
+
+  $ bddfc judge --domains 1 prog.bddfc > d1.out
+  [3]
+  $ bddfc judge --domains 4 prog.bddfc > d4.out
+  [3]
+  $ diff d1.out d4.out
+
+dot accepts it:
+
+  $ bddfc dot --domains 1 prog.bddfc > d1.out
+  $ bddfc dot --domains 4 prog.bddfc > d4.out
+  $ diff d1.out d4.out
+
+zoo: a paper example judged at 1 vs 4 domains is byte-identical.
+
+  $ bddfc zoo ex1 --domains 1 > d1.out
+  $ bddfc zoo ex1 --domains 4 > d4.out
+  $ diff d1.out d4.out
+
+serve: judge and cert replies on a zoo theory are byte-identical at 1
+vs 4 domains (warm sessions share one domain pool).
+
+  $ cat > script.jsonl <<'EOF'
+  > {"id":1,"op":"load","session":"s","program":"e(X,Y) -> exists Z. e(Y,Z). e(X,Y), e(Y,Z) -> u(X,Z). e(a,b)."}
+  > {"id":2,"op":"judge","session":"s","query":"? u(X,Y)."}
+  > {"id":3,"op":"cert","session":"s","query":"? u(X,Y)."}
+  > {"id":4,"op":"query","session":"s","query":"? u(a,X)."}
+  > {"id":5,"op":"shutdown"}
+  > EOF
+  $ bddfc serve --domains 1 < script.jsonl > d1.out
+  $ bddfc serve --domains 4 < script.jsonl > d4.out
+  $ diff d1.out d4.out
+  $ grep '"op":"judge"' d4.out | grep -c '"ok":true'
+  1
+
+--domains 0 and negative counts are usage errors (exit 2), uniformly:
+
+  $ bddfc chase --domains 0 prog.bddfc > /dev/null 2>&1
+  [2]
+  $ bddfc chase --domains=-2 prog.bddfc > /dev/null 2>&1
+  [2]
+  $ bddfc judge --domains 0 prog.bddfc > /dev/null 2>&1
+  [2]
+  $ bddfc serve --domains 0 < /dev/null > /dev/null 2>&1
+  [2]
+  $ bddfc model --domains two prog.bddfc > /dev/null 2>&1
+  [2]
+
+it composes with --strategy: the naive reference stays sequential, and
+still agrees with the parallel engine up to isomorphism:
+
+  $ bddfc chase --strategy naive --domains 4 prog.bddfc > naive.out
+  $ grep -- '-- rounds' naive.out
+  -- rounds: 2, elements: 2, facts: 3, fixpoint (the result is a model)

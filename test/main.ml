@@ -16,5 +16,6 @@ let () =
       Test_provenance.suite;
       Test_budget.suite;
       Test_differential.suite;
+      Test_parallel.suite;
       Test_serve.suite;
     ]

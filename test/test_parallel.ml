@@ -1,0 +1,427 @@
+(* Differential oracle for the parallel chase: [Parallel n] must be
+   *bit-identical* to the sequential [Seminaive] strategy — not merely
+   isomorphic.  The engine root-splits each compiled plan's first access
+   path and replays all candidates on the coordinating domain in the
+   sequential enumeration order (DESIGN.md section 11), so the fact set
+   (including the labelled nulls' element ids), every birth stamp, the
+   per-round counts, the watch round and the budget trip points must all
+   coincide exactly, for every domain count and under any scheduling.
+
+   The oracle therefore uses [Instance.equal_facts] (id-exact) plus
+   per-fact birth comparison, where the naive/semi-naive differential
+   suite has to settle for hom-both-ways.  Against [Naive] only
+   hom-equivalence is available, as ever.
+
+   The chaos half is metamorphic: a seeded shuffle of the pool's
+   work-claim order plus injected per-job busy-wait delays must be
+   observationally inert — same merged instance, same registry totals —
+   because job results are index-addressed and the merge is replayed in
+   job order, never completion order. *)
+
+open Bddfc_budget
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_chase
+open Bddfc_workload
+module H = Bddfc_hom.Hom
+module Obs = Bddfc_obs.Obs
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let th src = Parser.parse_theory src
+let db src = Instance.of_atoms (Parser.parse_atoms src)
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let outcome_str = function
+  | Chase.Fixpoint -> "fixpoint"
+  | Chase.Watched -> "watched"
+  | Chase.Exhausted r -> "exhausted:" ^ Budget.resource_name r
+
+(* Bit-identity: fact sets with element ids, births, rounds, outcomes. *)
+let check_identical name (a : Chase.result) (b : Chase.result) =
+  check Alcotest.string (name ^ ": outcome") (outcome_str a.Chase.outcome)
+    (outcome_str b.Chase.outcome);
+  check Alcotest.int (name ^ ": rounds") a.Chase.rounds b.Chase.rounds;
+  check
+    Alcotest.(list int)
+    (name ^ ": new facts per round")
+    a.Chase.new_facts_per_round b.Chase.new_facts_per_round;
+  check
+    Alcotest.(option int)
+    (name ^ ": watch round")
+    a.Chase.watch_round b.Chase.watch_round;
+  check Alcotest.int (name ^ ": elements")
+    (Instance.num_elements a.Chase.instance)
+    (Instance.num_elements b.Chase.instance);
+  check Alcotest.bool (name ^ ": fact sets id-identical") true
+    (Instance.equal_facts a.Chase.instance b.Chase.instance);
+  Instance.iter_facts
+    (fun f ->
+      let ba = Instance.fact_birth a.Chase.instance f in
+      let bb = Instance.fact_birth b.Chase.instance f in
+      if ba <> bb then
+        Alcotest.failf "%s: %s born %d vs %d" name (Fact.show f) ba bb)
+    a.Chase.instance
+
+(* ----------------------------------------------------------------- *)
+(* Zoo workloads: every domain count against the sequential engine    *)
+(* ----------------------------------------------------------------- *)
+
+let test_zoo_identical () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let go strategy =
+        Chase.run ~strategy ~max_rounds:8 ~max_elements:2_000 e.Zoo.theory d
+      in
+      let reference = go Chase.Seminaive in
+      List.iter
+        (fun n ->
+          check_identical
+            (Printf.sprintf "%s @%d" e.Zoo.name n)
+            reference
+            (go (Chase.Parallel n)))
+        domain_counts)
+    Zoo.all
+
+let test_zoo_oblivious_identical () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let go strategy =
+        Chase.run ~variant:Chase.Oblivious ~strategy ~max_rounds:5
+          ~max_elements:2_000 e.Zoo.theory d
+      in
+      let reference = go Chase.Seminaive in
+      List.iter
+        (fun n ->
+          check_identical
+            (Printf.sprintf "%s/oblivious @%d" e.Zoo.name n)
+            reference
+            (go (Chase.Parallel n)))
+        [ 2; 4 ])
+    Zoo.all
+
+let test_zoo_naive_hom () =
+  (* against the snapshot reference only isomorphism is meaningful: the
+     naive strategy enumerates in a different order, so nulls differ *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let go strategy =
+        Chase.run ~strategy ~max_rounds:8 ~max_elements:2_000 e.Zoo.theory d
+      in
+      let a = go Chase.Naive and b = go (Chase.Parallel 4) in
+      check Alcotest.int (e.Zoo.name ^ ": rounds") a.Chase.rounds
+        b.Chase.rounds;
+      check Alcotest.int (e.Zoo.name ^ ": facts")
+        (Instance.num_facts a.Chase.instance)
+        (Instance.num_facts b.Chase.instance);
+      check Alcotest.int (e.Zoo.name ^ ": elements")
+        (Instance.num_elements a.Chase.instance)
+        (Instance.num_elements b.Chase.instance);
+      check Alcotest.bool (e.Zoo.name ^ ": hom naive -> parallel") true
+        (H.exists a.Chase.instance b.Chase.instance);
+      check Alcotest.bool (e.Zoo.name ^ ": hom parallel -> naive") true
+        (H.exists b.Chase.instance a.Chase.instance))
+    Zoo.all
+
+(* ----------------------------------------------------------------- *)
+(* Random theories: 100 seeds, every domain count                     *)
+(* ----------------------------------------------------------------- *)
+
+let random_seeds = List.init 100 (fun i -> i)
+
+let random_case seed =
+  ( Gen.random_binary_theory ~rules:4 ~seed (),
+    Gen.random_instance ~facts:4 ~seed:(seed + 1000) () )
+
+let test_random_identical () =
+  let reference =
+    List.map
+      (fun seed ->
+        let theory, d = random_case seed in
+        Chase.run ~max_rounds:6 ~max_elements:400 theory d)
+      random_seeds
+  in
+  (* domain count in the outer loop so the shared pool resizes four
+     times, not four hundred *)
+  List.iter
+    (fun n ->
+      List.iter2
+        (fun seed r ->
+          let theory, d = random_case seed in
+          check_identical
+            (Printf.sprintf "seed %d @%d" seed n)
+            r
+            (Chase.run ~strategy:(Chase.Parallel n) ~max_rounds:6
+               ~max_elements:400 theory d))
+        random_seeds reference)
+    domain_counts
+
+let test_random_watch_identical () =
+  List.iter
+    (fun seed ->
+      let theory, d = random_case seed in
+      match Signature.preds (Theory.signature theory) with
+      | [] -> ()
+      | p :: _ ->
+          let go strategy =
+            Chase.run ~strategy ~watch:p ~max_rounds:6 ~max_elements:400
+              theory d
+          in
+          check_identical
+            (Printf.sprintf "seed %d watch" seed)
+            (go Chase.Seminaive)
+            (go (Chase.Parallel 4)))
+    (List.init 25 (fun i -> i * 4))
+
+(* ----------------------------------------------------------------- *)
+(* Registry counters: totals independent of the domain count          *)
+(* ----------------------------------------------------------------- *)
+
+(* The per-domain shards merge additively at the round barrier, and the
+   root-split enumeration performs the same probes and index operations
+   as the monolithic walk, so the core counter deltas must be equal
+   across every domain count — and equal to sequential Seminaive.  The
+   plan-cache counters are exempt: the parallel round prepares each
+   rule's plan once, where the sequential witness checks re-fetch it per
+   binding, so [eval.plan_cache_hits] legitimately differs. *)
+let core_counters =
+  [ "chase.rounds";
+    "chase.facts_added";
+    "chase.nulls_invented";
+    "eval.join_probes";
+    "eval.index_ops";
+  ]
+
+let counter_deltas run =
+  let before = Obs.Metrics.snapshot () in
+  ignore (run ());
+  let after = Obs.Metrics.snapshot () in
+  let delta = Obs.Metrics.ints_delta ~before ~after in
+  List.map
+    (fun k -> (k, Option.value ~default:0 (List.assoc_opt k delta)))
+    core_counters
+
+let counter_workloads () =
+  let tc_theory = th "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let linear =
+    th {| e(X,Y) -> exists Z. e(Y,Z).
+          e(X,Y), e(Y,Z) -> p(X,Z). |}
+  in
+  [ ("tc/digraph", tc_theory,
+     Gen.random_digraph ~nodes:40 ~edges:80 ~seed:7 (), 64);
+    ("linear", linear, db "e(a,b). e(b,c).", 12);
+  ]
+
+let test_counters_equal () =
+  List.iter
+    (fun (name, theory, d, max_rounds) ->
+      let deltas strategy =
+        counter_deltas (fun () ->
+            Chase.run ~strategy ~max_rounds ~max_elements:2_000 theory d)
+      in
+      let reference = deltas Chase.Seminaive in
+      List.iter
+        (fun n ->
+          check
+            Alcotest.(list (pair string int))
+            (Printf.sprintf "%s: counters @%d vs sequential" name n)
+            reference
+            (deltas (Chase.Parallel n)))
+        [ 2; 4; 8 ];
+      check Alcotest.bool (name ^ ": sharding off outside rounds") false
+        (Obs.Metrics.Shard.active ()))
+    (counter_workloads ())
+
+(* ----------------------------------------------------------------- *)
+(* Chaos: scheduling perturbations are observationally inert          *)
+(* ----------------------------------------------------------------- *)
+
+let with_chaos c f =
+  Shard.set_chaos (Some c);
+  Fun.protect ~finally:(fun () -> Shard.set_chaos None) f
+
+let test_chaos_inert () =
+  List.iter
+    (fun (name, theory, d, max_rounds) ->
+      let go () =
+        Chase.run ~strategy:(Chase.Parallel 4) ~max_rounds
+          ~max_elements:2_000 theory d
+      in
+      let reference = go () in
+      let reference_counters = counter_deltas go in
+      List.iter
+        (fun chaos_seed ->
+          List.iter
+            (fun chaos_max_delay_us ->
+              with_chaos { Shard.chaos_seed; chaos_max_delay_us } (fun () ->
+                  let tag =
+                    Printf.sprintf "%s chaos %d/%dus" name chaos_seed
+                      chaos_max_delay_us
+                  in
+                  check_identical tag reference (go ());
+                  check
+                    Alcotest.(list (pair string int))
+                    (tag ^ ": counters")
+                    reference_counters (counter_deltas go)))
+            [ 0; 200 ])
+        [ 1; 7; 42 ])
+    (counter_workloads ())
+
+(* ----------------------------------------------------------------- *)
+(* Budgets: trip points replay identically                            *)
+(* ----------------------------------------------------------------- *)
+
+let trap_theory =
+  th {| e(X,Y) -> exists Z. e(Y,Z).
+        e(X,Y), e(Y,Z) -> p(X,Z). |}
+
+let test_fuel_trap_identical () =
+  (* all governor charges happen in the coordinator's canonical replay,
+     so a forced exhaustion at the k-th charge leaves the *same* partial
+     instance behind as the sequential engine — bit for bit — and
+     surfaces as the same structured outcome, never a raw exception *)
+  let d = db "e(a,b). e(b,c)." in
+  List.iter
+    (fun after ->
+      let go strategy =
+        let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+        match Chase.run ~strategy ~budget:b ~max_rounds:12 trap_theory d with
+        | exception Budget.Exhausted _ ->
+            Alcotest.failf "trap %d leaked Budget.Exhausted" after
+        | r -> r
+      in
+      let reference = go Chase.Seminaive in
+      List.iter
+        (fun n ->
+          check_identical
+            (Printf.sprintf "trap %d @%d" after n)
+            reference
+            (go (Chase.Parallel n)))
+        [ 2; 4 ])
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let test_fuel_trap_chaos_identical () =
+  (* worker scheduling cannot move the trip point: charges replay on the
+     coordinator in job order regardless of who computed what when *)
+  let d = db "e(a,b). e(b,c)." in
+  List.iter
+    (fun after ->
+      let go () =
+        let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+        Chase.run ~strategy:(Chase.Parallel 4) ~budget:b ~max_rounds:12
+          trap_theory d
+      in
+      let reference = go () in
+      List.iter
+        (fun chaos_seed ->
+          with_chaos { Shard.chaos_seed; chaos_max_delay_us = 150 } (fun () ->
+              check_identical
+                (Printf.sprintf "trap %d chaos %d" after chaos_seed)
+                reference (go ())))
+        [ 3; 11 ])
+    [ 2; 5; 13 ]
+
+let test_deadline_structured () =
+  (* an expired deadline surfaces as the structured Deadline outcome from
+     the parallel engine too (workers poll the non-raising probe and
+     bail; the coordinator's canonical check reports) — and never hangs
+     the pool *)
+  List.iter
+    (fun strategy ->
+      let b = Budget.v ~deadline_s:0.0 () in
+      Unix.sleepf 0.002;
+      let r =
+        Chase.run ~strategy ~budget:b ~max_rounds:12 trap_theory
+          (db "e(a,b). e(b,c).")
+      in
+      check Alcotest.string "deadline outcome" "exhausted:deadline"
+        (outcome_str r.Chase.outcome))
+    [ Chase.Seminaive; Chase.Parallel 4 ]
+
+(* ----------------------------------------------------------------- *)
+(* Entry points beyond [run]                                          *)
+(* ----------------------------------------------------------------- *)
+
+let test_other_entry_points () =
+  let tc_theory = th "e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let d = Gen.chain ~len:20 () in
+  let a = Chase.saturate_datalog ~strategy:Chase.Seminaive tc_theory d in
+  let b = Chase.saturate_datalog ~strategy:(Chase.Parallel 4) tc_theory d in
+  check_identical "saturate_datalog" a b;
+  let a = Chase.run_depth ~strategy:Chase.Seminaive ~depth:3 trap_theory
+      (db "e(a,b).")
+  and b = Chase.run_depth ~strategy:(Chase.Parallel 4) ~depth:3 trap_theory
+      (db "e(a,b).")
+  in
+  check_identical "run_depth" a b;
+  let q = Parser.parse_query "? p(X,Z)." in
+  let certainty strategy =
+    match
+      Chase.certain ~strategy ~max_rounds:8 ~max_elements:200 trap_theory
+        (db "e(a,b). e(b,c).") q
+    with
+    | Chase.Entailed k -> Printf.sprintf "entailed:%d" k
+    | Chase.Not_entailed -> "not-entailed"
+    | Chase.Unknown (r, k) ->
+        Printf.sprintf "unknown:%s:%d" (Budget.resource_name r) k
+  in
+  check Alcotest.string "certain" (certainty Chase.Seminaive)
+    (certainty (Chase.Parallel 4));
+  List.iter
+    (fun seed ->
+      let theory, d = random_case seed in
+      let go strategy =
+        Provenance.run ~strategy ~max_rounds:5 ~max_elements:300 theory d
+      in
+      let a = go Chase.Seminaive and b = go (Chase.Parallel 4) in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: provenance facts" seed)
+        (Instance.num_facts a.Provenance.instance)
+        (Instance.num_facts b.Provenance.instance);
+      check Alcotest.int
+        (Printf.sprintf "seed %d: provenance rounds" seed)
+        a.Provenance.rounds b.Provenance.rounds)
+    [ 0; 5; 10 ]
+
+let test_parallel_one_is_sequential () =
+  (* [Parallel 1] must take the literal sequential path: no pool, no
+     sharded counters, same everything *)
+  let theory, d = random_case 13 in
+  let a = Chase.run ~max_rounds:6 ~max_elements:400 theory d in
+  let seen0 = Obs.Metrics.Shard.domains_seen () in
+  let b =
+    Chase.run ~strategy:(Chase.Parallel 1) ~max_rounds:6 ~max_elements:400
+      theory d
+  in
+  check_identical "parallel 1" a b;
+  check Alcotest.int "no sharding engaged" seen0
+    (Obs.Metrics.Shard.domains_seen ())
+
+let suite =
+  ( "parallel",
+    [ tc "zoo: every domain count bit-identical to seminaive"
+        test_zoo_identical;
+      tc "zoo: oblivious variant bit-identical" test_zoo_oblivious_identical;
+      tc "zoo: hom-equivalent to the naive reference" test_zoo_naive_hom;
+      tc "random theories: 100 seeds bit-identical at 1/2/4/8 domains"
+        test_random_identical;
+      tc "random theories: watch rounds identical" test_random_watch_identical;
+      tc "registry counters: totals independent of domain count"
+        test_counters_equal;
+      tc "chaos: shuffled scheduling and injected delays are inert"
+        test_chaos_inert;
+      tc "fuel traps: trip points replay bit-identically"
+        test_fuel_trap_identical;
+      tc "fuel traps: chaos cannot move the trip point"
+        test_fuel_trap_chaos_identical;
+      tc "deadline: structured outcome, pool never hangs"
+        test_deadline_structured;
+      tc "saturate/run_depth/certain/provenance agree"
+        test_other_entry_points;
+      tc "parallel 1 is the sequential path" test_parallel_one_is_sequential;
+    ] )
