@@ -63,6 +63,17 @@ let parallel_smoke_only = ref false
 let bench07_out = ref ""
 let bench07_check = ref ""
 
+(* --analyze-smoke runs the whole-zoo Dataflow.report smoke (every
+   report must build without an exception and its JSON must re-parse)
+   followed by EX-20's slicing harness: sliced vs unsliced certain
+   answering on padded workloads, gating verdict identity always and
+   the >= 1.5x join-probe reduction on the workloads built to show it;
+   --bench08-out writes the table as BENCH_08.json; --bench08-check
+   fails on a >10% probe regression against the committed blob. *)
+let analyze_smoke_only = ref false
+let bench08_out = ref ""
+let bench08_check = ref ""
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -111,13 +122,22 @@ let parse_args () =
        "FILE write EX-19's per-domain-count measurements (BENCH_07)");
       ("--bench07-check", Arg.Set_string bench07_check,
        "FILE fail when EX-19's deterministic counts diverge from the \
-        blob") ]
+        blob");
+      ("--analyze-smoke", Arg.Set analyze_smoke_only,
+       " run only the whole-zoo dataflow-report smoke and EX-20's \
+        slicing harness (verdict identity + probe reduction); exit 1 \
+        on a violation");
+      ("--bench08-out", Arg.Set_string bench08_out,
+       "FILE write EX-20's sliced-vs-unsliced measurements (BENCH_08)");
+      ("--bench08-check", Arg.Set_string bench08_check,
+       "FILE fail when EX-20's probe counts regress >10% vs the blob") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
      [--obs-smoke] [--eval-smoke] [--metrics-out FILE] [--bench05-out FILE] \
      [--bench05-check FILE] [--serve-bench] [--bench06-out FILE] \
      [--bench06-check FILE] [--parallel-smoke] [--bench07-out FILE] \
-     [--bench07-check FILE]";
+     [--bench07-check FILE] [--analyze-smoke] [--bench08-out FILE] \
+     [--bench08-check FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -1881,6 +1901,301 @@ let run_ex19 () =
   end
   else 1
 
+(* ------------------------------------------------------------------ *)
+(* EX-20: query-directed rule slicing                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The slicer's two claims, in one table:
+
+     1. soundness — on every workload the sliced certain-answer verdict
+        (entailment depth included) is identical to the unsliced one;
+     2. payoff — when the theory carries rules irrelevant to the query,
+        the sliced chase does measurably less join work.
+
+   The padded workloads compose a queried component with an independent
+   same-shape component the query never touches; the slicer provably
+   drops the padding, and the join-probe counter (deterministic, unlike
+   wall time) records the saving.  Verdict identity gates on every row;
+   the >= 1.5x probe reduction gates only on the rows built to show it
+   (a zoo theory sliced against its own query is context, not a claim).
+   --bench08-check re-runs the harness and fails on a >10% probe
+   regression against the committed blob, mirroring BENCH_05. *)
+
+type ex20_row = {
+  s_workload : string;
+  s_rules : int;
+  s_kept : int;
+  s_gate_ratio : bool; (* this row carries the >= 1.5x claim *)
+  s_verdict_full : string;
+  s_verdict_sliced : string;
+  s_probes_full : int;
+  s_probes_sliced : int;
+  s_wall_full_s : float;
+  s_wall_sliced_s : float;
+}
+
+let ex20_certainty_str = function
+  | Chase.Chase.Entailed k -> Printf.sprintf "entailed:%d" k
+  | Chase.Chase.Not_entailed -> "not-entailed"
+  | Chase.Chase.Unknown (r, k) ->
+      Printf.sprintf "unknown:%s:%d" (Budget.resource_name r) k
+
+(* A deterministic chain over [pred] plus a denser deterministic
+   digraph over [pad]: the queried half closes in ~log n rounds, the
+   padding half is where the probes go when the slicer is off. *)
+let ex20_db () =
+  let b = Buffer.create 1024 in
+  for i = 0 to 23 do
+    Buffer.add_string b (Printf.sprintf "e(n%d,n%d). " i (i + 1))
+  done;
+  for i = 0 to 39 do
+    Buffer.add_string b (Printf.sprintf "f(m%d,m%d). " i ((i * 7 + 1) mod 40));
+    Buffer.add_string b (Printf.sprintf "f(m%d,m%d). " i ((i * 11 + 3) mod 40));
+    Buffer.add_string b (Printf.sprintf "f(m%d,m%d). " i ((i * 13 + 5) mod 40))
+  done;
+  I.of_atoms (Logic.Parser.parse_atoms (Buffer.contents b))
+
+let ex20_workloads () =
+  let tc_padded =
+    Logic.Parser.parse_theory
+      "e(X,Y), e(Y,Z) -> e(X,Z). f(U,V), f(V,W) -> f(U,W)."
+  in
+  let gen_padded =
+    Logic.Parser.parse_theory
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z).
+         f(U,V) -> exists W. f(V,W).
+         f(U,V), f(V,W) -> q(U,W). |}
+  in
+  let db = ex20_db () in
+  let zoo = Option.get (Zoo.find "weakly_acyclic") in
+  [ ("tc+tc-pad", tc_padded, db,
+     Logic.Parser.parse_query "? e(n0,n24).", 12, true);
+    ("gen+gen-pad", gen_padded, db,
+     Logic.Parser.parse_query "? p(X,Z).", 10, true);
+    ("zoo/weakly_acyclic", zoo.Zoo.theory, Zoo.database_instance zoo,
+     zoo.Zoo.query, 12, false);
+  ]
+
+let ex20_measure () =
+  List.map
+    (fun (name, theory, db, q, max_rounds, gate) ->
+      let probes f =
+        let before = Obs.Metrics.snapshot () in
+        let v, t = time_it f in
+        let delta =
+          Obs.Metrics.ints_delta ~before ~after:(Obs.Metrics.snapshot ())
+        in
+        ( v, t,
+          Option.value (List.assoc_opt "eval.join_probes" delta) ~default:0 )
+      in
+      let vf, tf, pf =
+        probes (fun () ->
+            Chase.Chase.certain ~max_rounds ~max_elements:100_000 theory db q)
+      in
+      let vs, ts, ps =
+        probes (fun () ->
+            Analysis.Dataflow.certain ~max_rounds ~max_elements:100_000
+              theory db q)
+      in
+      let sl = Analysis.Dataflow.slice theory (Logic.Ucq.of_cq q) in
+      { s_workload = name;
+        s_rules = Logic.Theory.size theory;
+        s_kept = List.length sl.Analysis.Dataflow.kept;
+        s_gate_ratio = gate;
+        s_verdict_full = ex20_certainty_str vf;
+        s_verdict_sliced = ex20_certainty_str vs;
+        s_probes_full = pf;
+        s_probes_sliced = ps;
+        s_wall_full_s = tf;
+        s_wall_sliced_s = ts;
+      })
+    (ex20_workloads ())
+
+let ex20_ratio row =
+  if row.s_probes_sliced > 0 then
+    float_of_int row.s_probes_full /. float_of_int row.s_probes_sliced
+  else Float.infinity
+
+let ex20_table rows =
+  header "EX-20: query-directed rule slicing (soundness + probe savings)";
+  Fmt.pr "%-20s %-7s %-13s %-12s %-12s %-7s %-9s %s@." "workload" "kept"
+    "verdict" "probes" "probes/sl" "ratio" "full(s)" "sliced(s)";
+  List.iter
+    (fun row ->
+      Fmt.pr "%-20s %d/%-5d %-13s %-12d %-12d %-7.2f %-9.3f %.3f@."
+        row.s_workload row.s_kept row.s_rules row.s_verdict_sliced
+        row.s_probes_full row.s_probes_sliced (ex20_ratio row)
+        row.s_wall_full_s row.s_wall_sliced_s)
+    rows
+
+let ex20_structural rows =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  List.iter
+    (fun row ->
+      if row.s_verdict_full <> row.s_verdict_sliced then
+        fail "bench08 gate: %s verdicts diverge (%s vs %s)@." row.s_workload
+          row.s_verdict_full row.s_verdict_sliced;
+      if row.s_gate_ratio then begin
+        if row.s_kept >= row.s_rules then
+          fail "bench08 gate: %s slice dropped nothing@." row.s_workload;
+        if ex20_ratio row < 1.5 then
+          fail "bench08 gate: %s probe reduction only %.2fx (want >= 1.5x)@."
+            row.s_workload (ex20_ratio row)
+      end)
+    rows;
+  !failures
+
+(* BENCH_08.json: one row object per workload.  The probe counts are
+   deterministic; --bench08-check gates them within 10% (and the
+   verdict exactly); wall times are context, never gated. *)
+let ex20_blob rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiment\":\"EX-20\",\"rows\":[\n";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"workload\":\"%s\",\"rules\":%d,\"kept\":%d,\
+            \"verdict\":\"%s\",\"probes_full\":%d,\"probes_sliced\":%d,\
+            \"ratio\":%.3f,\"wall_full_s\":%.6f,\"wall_sliced_s\":%.6f}"
+           row.s_workload row.s_rules row.s_kept row.s_verdict_sliced
+           row.s_probes_full row.s_probes_sliced (ex20_ratio row)
+           row.s_wall_full_s row.s_wall_sliced_s))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let ex20_write_blob rows path =
+  let oc = open_out path in
+  output_string oc (ex20_blob rows);
+  close_out oc;
+  Fmt.pr "wrote EX-20 blob to %s@." path
+
+let ex20_read_blob path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let field name =
+         let tag = Printf.sprintf "\"%s\":" name in
+         let tlen = String.length tag and llen = String.length line in
+         let rec find from =
+           if from + tlen > llen then None
+           else if String.sub line from tlen = tag then Some (from + tlen)
+           else find (from + 1)
+         in
+         match find 0 with
+         | None -> None
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < llen
+               && (match line.[!stop] with
+                  | '0' .. '9' | '"' | '/' | 'a' .. 'z' | '+' | '-' | '_'
+                  | ':' | '.' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             Some (String.sub line start (!stop - start))
+       in
+       match
+         ( field "workload", field "verdict", field "probes_full",
+           field "probes_sliced" )
+       with
+       | Some w, Some v, Some pf, Some ps ->
+           let unquote s = String.concat "" (String.split_on_char '"' s) in
+           rows :=
+             (unquote w, unquote v, int_of_string pf, int_of_string ps)
+             :: !rows
+       | _ -> ()
+     done
+   with
+  | End_of_file -> close_in ic
+  | e -> close_in ic; raise e);
+  List.rev !rows
+
+let ex20_check rows path =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  (match ex20_read_blob path with
+  | exception Sys_error msg -> fail "bench08 gate: %s@." msg
+  | blob ->
+      List.iter
+        (fun row ->
+          match
+            List.find_opt (fun (w, _, _, _) -> w = row.s_workload) blob
+          with
+          | None ->
+              fail "bench08 gate: %s missing from %s@." row.s_workload path
+          | Some (_, v, pf, ps) ->
+              if v <> row.s_verdict_sliced then
+                fail "bench08 gate: %s verdict %s diverges from committed %s@."
+                  row.s_workload row.s_verdict_sliced v;
+              let regressed now committed =
+                committed > 0
+                && float_of_int now > 1.1 *. float_of_int committed
+              in
+              if regressed row.s_probes_sliced ps then
+                fail
+                  "bench08 gate: %s sliced probes %d regress >10%% vs \
+                   committed %d@."
+                  row.s_workload row.s_probes_sliced ps;
+              if regressed row.s_probes_full pf then
+                fail
+                  "bench08 gate: %s full probes %d regress >10%% vs \
+                   committed %d@."
+                  row.s_workload row.s_probes_full pf)
+        rows);
+  !failures
+
+(* The whole-zoo report smoke: every entry's dataflow report must build
+   without an exception, its JSON must survive a parse round-trip, and
+   the text and DOT renderings must be non-empty. *)
+let analyze_smoke () =
+  header "analyze smoke: Dataflow.report over the whole zoo";
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Zoo.entry) ->
+      match
+        let db = Zoo.database_instance e in
+        let r =
+          Analysis.Dataflow.report ~facts:(I.preds db)
+            ~queries:[ e.Zoo.query ] e.Zoo.theory
+        in
+        let json = Obs.Json.to_string (Analysis.Dataflow.report_json r) in
+        (match Obs.Json.parse json with
+        | Ok _ -> ()
+        | Error m -> failwith ("JSON does not re-parse: " ^ m));
+        if Fmt.str "%a" Analysis.Dataflow.pp_report r = "" then
+          failwith "empty text report";
+        if Analysis.Dataflow.report_dot r = "" then failwith "empty dot"
+      with
+      | () -> Fmt.pr "  %-22s ok@." e.Zoo.name
+      | exception ex ->
+          incr failures;
+          Fmt.pr "  %-22s FAILED: %s@." e.Zoo.name (Printexc.to_string ex))
+    Zoo.all;
+  if !failures = 0 then 0 else 1
+
+let run_ex20 () =
+  let rows = ex20_measure () in
+  ex20_table rows;
+  if !bench08_out <> "" then ex20_write_blob rows !bench08_out;
+  let failures =
+    ex20_structural rows
+    + if !bench08_check <> "" then ex20_check rows !bench08_check else 0
+  in
+  if failures = 0 then begin
+    Fmt.pr "bench08 gate: slicing soundness and probe savings hold@.";
+    0
+  end
+  else 1
+
 let run_ex17 () =
   let rows = ex17_measure () in
   ex17_engines rows;
@@ -1902,6 +2217,11 @@ let () =
   end;
   if !serve_bench_only then exit (run_ex18 ());
   if !parallel_smoke_only then exit (run_ex19 ());
+  if !analyze_smoke_only then begin
+    let smoke = analyze_smoke () in
+    let gate = run_ex20 () in
+    exit (max smoke gate)
+  end;
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();

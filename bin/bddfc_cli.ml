@@ -221,6 +221,18 @@ let no_preflight_term =
               guaranteed fixpoint, upgrading budget-truncated unknowns \
               to definite verdicts.")
 
+(* The same commands accept --slice: the query-directed rule slicer as
+   an entailment fast path (certain verdicts from the relevant rules
+   only; countermodel construction always sees the whole theory). *)
+let slice_term =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:"Enable the query-directed slicer: chase only the rules \
+              relevant to the query first, short-circuiting certain \
+              verdicts; countermodel construction still verifies against \
+              the whole theory.")
+
 (* -------------------------- observability ------------------------- *)
 
 (* Every subcommand accepts --metrics[=FORMAT], --metrics-out FILE and
@@ -487,13 +499,52 @@ let lint_cmd =
     Term.(
       const run $ file_arg $ format $ deny $ eval_term $ obs_term $ verbose_arg)
 
+(* ----------------------------- analyze --------------------------- *)
+
+let analyze_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("dot", `Dot) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (sectioned report), $(b,json) \
+                (one machine-readable object) or $(b,dot) (the predicate \
+                dependency graph for graphviz).")
+  in
+  let run file format obs verbose =
+    setup_logs verbose;
+    with_obs ~cmd:"analyze" obs @@ fun () ->
+    with_program file @@ fun (theory, _db, queries, program) ->
+    let facts =
+      List.fold_left
+        (fun acc a -> Logic.Pred.Set.add (Logic.Atom.pred a) acc)
+        Logic.Pred.Set.empty program.Logic.Parser.facts
+    in
+    let r = Analysis.Dataflow.report ~facts ~queries theory in
+    (match format with
+    | `Text -> Fmt.pr "%a@?" Analysis.Dataflow.pp_report r
+    | `Json ->
+        Fmt.pr "%s@." (Obs.Json.to_string (Analysis.Dataflow.report_json r))
+    | `Dot -> Fmt.pr "%s@?" (Analysis.Dataflow.report_dot r));
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Whole-theory position dataflow: the predicate dependency graph \
+          with position-level edges, the null-flow graph (which positions \
+          can receive labelled nulls), EDB-reachability, rule liveness and \
+          a per-query rule slice."
+       ~exits)
+    Term.(const run $ file_arg $ format $ obs_term $ verbose_arg)
+
 (* ----------------------------- model ----------------------------- *)
 
 let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth strategy eval budget no_preflight obs verbose =
+  let run file depth strategy eval budget no_preflight slice obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"model" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -509,6 +560,7 @@ let model_cmd =
             strategy;
             eval;
             preflight = not no_preflight;
+            slice;
           }
         in
         match Finitemodel.Pipeline.construct ~params theory db q with
@@ -541,12 +593,12 @@ let model_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ depth $ strategy_term $ eval_term $ budget_term
-      $ no_preflight_term $ obs_term $ verbose_arg)
+      $ no_preflight_term $ slice_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file strategy eval budget no_preflight obs verbose =
+  let run file strategy eval budget no_preflight slice obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"judge" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -563,6 +615,7 @@ let judge_cmd =
                 strategy;
                 eval;
                 preflight = not no_preflight;
+                slice;
               };
           }
         in
@@ -585,7 +638,7 @@ let judge_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ strategy_term $ eval_term $ budget_term
-      $ no_preflight_term $ obs_term $ verbose_arg)
+      $ no_preflight_term $ slice_term $ obs_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
 
@@ -796,8 +849,8 @@ let main =
       ~exits
   in
   Cmd.group info
-    [ chase_cmd; rewrite_cmd; classify_cmd; lint_cmd; model_cmd; judge_cmd;
-      dot_cmd; zoo_cmd; serve_cmd ]
+    [ chase_cmd; rewrite_cmd; classify_cmd; lint_cmd; analyze_cmd; model_cmd;
+      judge_cmd; dot_cmd; zoo_cmd; serve_cmd ]
 
 (* command-line usage errors share the input-error code so every
    "you gave me bad input" failure is scriptable as exit 2 *)

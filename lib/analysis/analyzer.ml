@@ -41,12 +41,16 @@ module Codes = struct
   let wa_cycle = "wa-cycle"
   let ja_cycle = "ja-cycle"
   let not_sticky = "not-sticky"
+  let unreachable_predicate = "unreachable-predicate"
+  let dead_rule = "dead-rule"
+  let unsatisfiable_body = "unsatisfiable-body"
 
   let all =
     [ arity_mismatch; unsafe_head_var; exvar_in_body; exvar_unused;
       singleton_var; undefined_pred; unused_pred; query_unreachable;
       multi_head; not_normalized; non_binary; non_guarded; non_linear;
-      non_frontier_one; wa_cycle; ja_cycle; not_sticky ]
+      non_frontier_one; wa_cycle; ja_cycle; not_sticky;
+      unreachable_predicate; dead_rule; unsatisfiable_body ]
 end
 
 type input = {
@@ -464,7 +468,87 @@ let edb_checks input =
             (Cq.body q))
         input.queries
     in
-    undefined @ unused @ unreachable
+    (* unreachable-predicate: an intensional predicate whose deriving
+       rules can never all fire from the given facts — the whole-theory
+       reachability fixpoint (Dataflow.reachable_from) seen per
+       predicate, reported at its first deriving head atom *)
+    let blocking_of p =
+      List.find_map
+        (fun r ->
+          if Pred.Set.mem p (Rule.head_preds r) then
+            Pred.Set.diff (Rule.body_preds r) reachable
+            |> Pred.Set.choose_opt
+            |> Option.map (fun b -> (r, b))
+          else None)
+        input.rules
+    in
+    let unreachable_preds =
+      Pred.Set.diff head_preds reachable |> Pred.Set.elements
+      |> List.map (fun p ->
+             let loc, at =
+               match first_deriving p with
+               | Some a -> (Atom.loc a, Fmt.str "atom %a" Atom.pp a)
+               | None -> (Loc.none, Pred.name p)
+             in
+             let witness =
+               match blocking_of p with
+               | Some (r, b) ->
+                   Fmt.str "rule %s is blocked by unreachable %s" (Rule.name r)
+                     (Pred.name b)
+               | None -> at
+             in
+             D.v ~loc ~code:Codes.unreachable_predicate ~severity:D.Warning
+               ~witness
+               "predicate %s/%d can never hold a fact: no chain of rules \
+                derives it from the given facts"
+               (Pred.name p) (Pred.arity p))
+    in
+    (* dead-rule: some body predicate is unreachable, so the rule can
+       never fire — once per rule, at the first blocking body atom *)
+    let dead_rules =
+      List.filter_map
+        (fun r ->
+          List.find_opt
+            (fun a -> not (Pred.Set.mem (Atom.pred a) reachable))
+            (Rule.body r)
+          |> Option.map (fun a ->
+                 D.v ~loc:(Atom.loc a) ~code:Codes.dead_rule
+                   ~severity:D.Warning
+                   ~witness:(Fmt.str "atom %a" Atom.pp a)
+                   "rule %s can never fire: body predicate %s is unreachable \
+                    from the given facts"
+                   (Rule.name r)
+                   (Pred.name (Atom.pred a))))
+        input.rules
+    in
+    (* unsatisfiable-body: a ground body atom over an extensional
+       predicate (facts exist, no rule derives it) that matches no
+       fact — the EDB is fixed, so the atom can never hold *)
+    let unsat_bodies =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun a ->
+              let p = Atom.pred a in
+              if
+                Atom.is_ground a
+                && Pred.Set.mem p fact_preds
+                && (not (Pred.Set.mem p head_preds))
+                && not (List.exists (Atom.equal a) input.facts)
+              then
+                Some
+                  (D.v ~loc:(Atom.loc a) ~code:Codes.unsatisfiable_body
+                     ~severity:D.Warning
+                     ~witness:(Fmt.str "atom %a" Atom.pp a)
+                     "rule %s can never fire: ground atom %a is over the \
+                      extensional predicate %s and matches no fact"
+                     (Rule.name r) Atom.pp a (Pred.name p))
+              else None)
+            (Rule.body r))
+        input.rules
+    in
+    undefined @ unused @ unreachable @ unreachable_preds @ dead_rules
+    @ unsat_bodies
   end
 
 (* ------------------------------------------------------------------ *)

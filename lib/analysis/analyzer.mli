@@ -26,6 +26,14 @@ module Codes : sig
   val ja_cycle : string
   val not_sticky : string  (** infos: class membership with witness *)
 
+  val unreachable_predicate : string
+  val dead_rule : string
+  val unsatisfiable_body : string
+      (** warnings: whole-theory dataflow facts (see {!Dataflow}) —
+          a derived predicate no rule chain can populate, a rule that
+          can never fire, a ground body atom over an extensional
+          predicate matching no fact *)
+
   val all : string list
 end
 

@@ -267,9 +267,13 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
       end)
     (Theory.rules theory);
   let jobs = Array.of_list (List.rev !jobs) in
+  Shard.Check.phase_a ~facts:(Instance.num_facts inst)
+    ~elements:(Instance.num_elements inst);
   (* phase B *)
   let work j =
     let job = jobs.(j) in
+    Shard.Check.observe ~facts:(Instance.num_facts inst)
+      ~elements:(Instance.num_elements inst);
     if not (Budget.deadline_expired budget) then begin
       let out = ref [] in
       let yield =
@@ -319,6 +323,7 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
   let added = ref 0 in
   let stats = ref { fired_datalog = 0; fired_existential = 0; nulls = 0 } in
   let add f =
+    Shard.Check.mutating ();
     if Instance.add_fact ~birth:round_no inst f then begin
       incr added;
       Obs.Metrics.incr m_facts;
@@ -371,6 +376,7 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
                   match Hashtbl.find_opt fresh_cache x with
                   | Some id -> id
                   | None ->
+                      Shard.Check.mutating ();
                       Budget.charge budget Budget.Elements 1;
                       let id =
                         Instance.fresh_null inst ~birth:round_no

@@ -36,6 +36,84 @@ let mix seed i =
   let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
   (z lxor (z lsr 16)) land max_int
 
+(* ------------------------------------------------------------------ *)
+(* Phase-discipline sanitizer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Debug-mode assertions over the chase's shard protocol: phase A
+   snapshots the instance on the coordinating domain, phase B workers
+   must observe exactly that snapshot (the instance is frozen while a
+   batch is in flight), and phase C mutations must come from the
+   coordinator with no batch running.  Everything is gated on
+   [BDDFC_SHARD_CHECK=1] (or the test override) and compiles down to a
+   single ref read when off, so the production path pays nothing. *)
+module Check = struct
+  exception Violation of string
+
+  let override : bool option ref = ref None
+
+  let env_enabled =
+    lazy (match Sys.getenv_opt "BDDFC_SHARD_CHECK" with
+         | Some "1" -> true
+         | _ -> false)
+
+  let enabled () =
+    match !override with Some b -> b | None -> Lazy.force env_enabled
+
+  let checks = Atomic.make 0
+  let count () = Atomic.get checks
+
+  (* snapshot taken by the coordinator at the end of phase A; -1 = none *)
+  let snap_facts = Atomic.make (-1)
+  let snap_elements = Atomic.make (-1)
+  let coordinator = Atomic.make (-1)
+
+  (* set by [run] around the barrier, whether or not checking is on —
+     two atomic writes per batch are noise next to the batch itself *)
+  let in_flight = Atomic.make false
+
+  let self_id () = (Domain.self () :> int)
+
+  let reset () =
+    Atomic.set checks 0;
+    Atomic.set snap_facts (-1);
+    Atomic.set snap_elements (-1);
+    Atomic.set coordinator (-1)
+
+  let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+  let phase_a ~facts ~elements =
+    if enabled () then begin
+      Atomic.incr checks;
+      Atomic.set snap_facts facts;
+      Atomic.set snap_elements elements;
+      Atomic.set coordinator (self_id ())
+    end
+
+  let observe ~facts ~elements =
+    if enabled () then begin
+      Atomic.incr checks;
+      let sf = Atomic.get snap_facts and se = Atomic.get snap_elements in
+      if sf >= 0 && (facts <> sf || elements <> se) then
+        violation
+          "worker %d observed a post-snapshot mutation: facts %d -> %d, \
+           elements %d -> %d"
+          (self_id ()) sf facts se elements
+    end
+
+  let mutating () =
+    if enabled () then begin
+      Atomic.incr checks;
+      if Atomic.get in_flight then
+        violation "mutation on domain %d while a shard batch is in flight"
+          (self_id ());
+      let coord = Atomic.get coordinator in
+      if coord >= 0 && self_id () <> coord then
+        violation "mutation on domain %d but the coordinator is domain %d"
+          (self_id ()) coord
+    end
+end
+
 type batch = {
   b_run : int -> unit; (* the job body; must not raise Exhausted etc. *)
   b_order : int array; (* claim order (identity, or a chaos shuffle) *)
@@ -175,6 +253,7 @@ let run pool ~njobs f =
     pool.p_gen <- pool.p_gen + 1;
     Condition.broadcast pool.p_work;
     Mutex.unlock pool.p_mu;
+    Atomic.set Check.in_flight true;
     (* the coordinator pulls its weight ... *)
     drain pool batch;
     (* ... then waits for the stragglers at the barrier *)
@@ -193,6 +272,7 @@ let run pool ~njobs f =
     let failed = pool.p_failed in
     pool.p_failed <- None;
     Mutex.unlock pool.p_mu;
+    Atomic.set Check.in_flight false;
     match failed with Some e -> raise e | None -> ()
   end
 

@@ -36,6 +36,45 @@ val shared_pool : int -> pool
 (** The process-wide pool, created on first use and recreated (draining
     the old one) when a different size is requested. *)
 
+(** {1 Phase-discipline sanitizer}
+
+    Debug assertions over the chase's shard protocol, enabled by
+    [BDDFC_SHARD_CHECK=1] (or {!Check.override} in tests) and inert —
+    zero checks recorded, no behavioural change — otherwise.  The
+    coordinator snapshots the instance at the end of phase A
+    ({!Check.phase_a}); phase B workers assert the snapshot is unchanged
+    ({!Check.observe}); phase C mutators assert they run on the
+    coordinating domain with no batch in flight ({!Check.mutating}).
+    A violated assertion raises {!Check.Violation}, which {!run}
+    re-raises on the coordinating domain like any job failure. *)
+
+module Check : sig
+  exception Violation of string
+
+  val override : bool option ref
+  (** [Some b] forces the checker on/off regardless of the environment;
+      [None] (the default) defers to [BDDFC_SHARD_CHECK]. *)
+
+  val enabled : unit -> bool
+
+  val phase_a : facts:int -> elements:int -> unit
+  (** Coordinator: snapshot the instance before dispatching a batch. *)
+
+  val observe : facts:int -> elements:int -> unit
+  (** Worker: assert the instance still matches the phase-A snapshot.
+      @raise Violation on a post-snapshot mutation. *)
+
+  val mutating : unit -> unit
+  (** Phase C: assert the caller is the coordinating domain and no
+      batch is in flight.  @raise Violation otherwise. *)
+
+  val count : unit -> int
+  (** Checks performed since the last {!reset}; stays [0] while the
+      checker is off. *)
+
+  val reset : unit -> unit
+end
+
 (** {1 Chaos hooks — metamorphic tests}
 
     A seeded perturbation of {!run}'s scheduling: the claim order is

@@ -48,6 +48,14 @@ type params = {
          weak/joint acyclicity; a positive proof lets the chase run
          fuel-free (deadline only) to its guaranteed fixpoint, turning
          budget-truncated Unknowns into definite verdicts *)
+  slice : bool;
+      (* entailment fast path through the query-directed slicer
+         (Dataflow.slice): when the slice is proper, run Chase.certain
+         over the relevant rules only; Entailed short-circuits to
+         Query_entailed at the same depth, anything else falls through
+         to the full construction (a dropped rule can never affect
+         certain answers, but a countermodel must satisfy the whole
+         theory — DESIGN.md section 12) *)
 }
 
 let default_params =
@@ -65,6 +73,7 @@ let default_params =
     strategy = Chase.default_strategy ();
     eval = Eval.Compiled;
     preflight = true;
+    slice = false;
   }
 
 type stats = {
@@ -112,10 +121,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
    is installed.  [pipeline.attempts] counts construct_at invocations —
    pre-flight and every depth-schedule retry alike. *)
 module Obs = Bddfc_obs.Obs
+module Dataflow = Bddfc_analysis.Dataflow
 
 let m_constructs = Obs.Metrics.counter "pipeline.constructs"
 let m_attempts = Obs.Metrics.counter "pipeline.attempts"
 let m_quotients = Obs.Metrics.counter "pipeline.quotient_attempts"
+let m_slice_fastpath = Obs.Metrics.counter "pipeline.slice_fastpath"
 let t_construct = Obs.Metrics.timer "pipeline.construct"
 
 (* Restrict a model back to the signature of the original theory plus the
@@ -128,10 +139,7 @@ let original_signature_model theory db inst =
   in
   Instance.restrict_preds inst keep
 
-let rec construct ?(params = default_params) theory db (query : Cq.t) =
-  Obs.Metrics.incr m_constructs;
-  Obs.Metrics.time t_construct @@ fun () ->
-  Obs.Trace.span "pipeline.construct" @@ fun () ->
+let rec construct_main ~params theory db (query : Cq.t) =
   (* -------- steps 1 and 2: normalize -------- *)
   let hidden = Normalize.hide_query theory query in
   match Normalize.spade5 hidden.Normalize.theory with
@@ -429,3 +437,63 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
         in
         search params.n_schedule
       end
+
+(* -------- the public entry point: sliced fast path, then the full
+   construction -------- *)
+
+let slice_fast_path ?(params = default_params) (sl : Dataflow.slice) db
+    (query : Cq.t) =
+  if not (Dataflow.is_proper sl) then None
+  else begin
+    Obs.Metrics.incr m_slice_fastpath;
+    (* Sound in both directions for certain answers: the sliced chase
+       derives exactly the unsliced chase's facts over every predicate
+       the query (or any kept rule) reads, round by round.  The probe
+       must go through the same hide-and-normalize machinery as
+       [construct_at]: spade5 splits each existential rule into a TGP
+       step plus a back rule, which delays derivations that pass
+       through witnesses by a round, so the depth recovered from the
+       watched round of the *normalized* chase is what the unsliced
+       pipeline reports — a raw [Chase.certain] depth can be smaller.
+       Anything short of entailment falls through — a countermodel
+       must satisfy the dropped rules too. *)
+    let hidden = Normalize.hide_query sl.Dataflow.sliced query in
+    match Normalize.spade5 hidden.Normalize.theory with
+    | exception Normalize.Unsupported _ -> None
+    | split ->
+        let chase =
+          Chase.run ~strategy:params.strategy ~eval:params.eval
+            ?budget:params.budget ~watch:hidden.Normalize.query_pred
+            ~max_rounds:params.chase_depth
+            ~max_elements:params.max_chase_elements split.Normalize.theory
+            db
+        in
+        let entailed =
+          chase.Chase.outcome = Chase.Watched
+          || Instance.facts_with_pred chase.Chase.instance
+               hidden.Normalize.query_pred
+             <> []
+        in
+        if entailed then
+          Some
+            (Query_entailed
+               (match chase.Chase.watch_round with
+               | Some r -> max 0 (r - 2)
+               | None -> chase.Chase.rounds))
+        else None
+  end
+
+let construct ?(params = default_params) theory db (query : Cq.t) =
+  Obs.Metrics.incr m_constructs;
+  Obs.Metrics.time t_construct @@ fun () ->
+  Obs.Trace.span "pipeline.construct" @@ fun () ->
+  let fast =
+    if not params.slice then None
+    else
+      slice_fast_path ~params
+        (Dataflow.slice theory (Ucq.of_cq query))
+        db query
+  in
+  match fast with
+  | Some outcome -> outcome
+  | None -> construct_main ~params theory db query

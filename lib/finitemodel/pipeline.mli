@@ -37,6 +37,13 @@ type params = {
           (default [true]): a positive proof lets the chase run fuel-free
           (deadline only) to its guaranteed fixpoint, upgrading
           budget-truncated Unknowns to definite verdicts *)
+  slice : bool;
+      (** entailment fast path through the query-directed slicer
+          (default [false]): chase only the rules relevant to the query
+          ({!Bddfc_analysis.Dataflow.slice}) first; [Entailed]
+          short-circuits to [Query_entailed] at the same depth, anything
+          else falls through to the full construction (a countermodel
+          must satisfy the dropped rules too — DESIGN.md section 12) *)
 }
 
 val default_params : params
@@ -70,3 +77,18 @@ val original_signature_model : Theory.t -> Instance.t -> Instance.t -> Instance.
     dropping colors, TGP witnesses and the hidden query predicate. *)
 
 val construct : ?params:params -> Theory.t -> Instance.t -> Cq.t -> outcome
+
+val slice_fast_path :
+  ?params:params ->
+  Bddfc_analysis.Dataflow.slice ->
+  Instance.t ->
+  Cq.t ->
+  outcome option
+(** The entailment-only probe behind [params.slice], exposed for callers
+    that already hold a (possibly memoized) slice: hide the query in the
+    sliced theory, normalize, and chase watching the hidden predicate.
+    Returns [Some (Query_entailed d)] with the {e same} depth [construct]
+    would report — the watched round of the normalized chase, not a raw
+    [Chase.certain] depth — or [None] (improper slice, unsupported
+    normalization, or not entailed within the prefix), in which case the
+    caller must fall back to the full construction. *)

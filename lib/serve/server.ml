@@ -170,6 +170,27 @@ let cert_fields outcome =
           | None -> []),
         false )
 
+(* The query-directed rule slice for a warm session, memoized per
+   session and keyed by the query's sorted predicate names; a memo hit
+   bumps the analysis.slice_hits counter.  The slice gates (and, for
+   cert, drives) the sliced entailment fast path. *)
+module Dataflow = Bddfc_analysis.Dataflow
+
+let slice_of (w : Session.warm) (q : Cq.t) =
+  let key =
+    String.concat ","
+      (List.sort_uniq String.compare
+         (List.map (fun a -> Pred.name (Atom.pred a)) (Cq.body q)))
+  in
+  match Hashtbl.find_opt w.Session.slices key with
+  | Some sl ->
+      Dataflow.note_slice_hit ();
+      sl
+  | None ->
+      let sl = Dataflow.slice w.Session.theory (Ucq.of_cq q) in
+      Hashtbl.add w.Session.slices key sl;
+      sl
+
 (* Memoization: only definite answers (certain / verified countermodel)
    are cached — an unknown may be a budget artifact, and a later request
    can carry more budget. *)
@@ -267,12 +288,14 @@ let dispatch t ~fault (r : Protocol.request) =
       let fields =
         memoized w ("judge:" ^ qtext) ~session:name @@ fun () ->
         let q = Parser.parse_query qtext in
+        let sl = slice_of w q in
         let jb =
           { Judge.default_budget with
             pipeline_params =
               { Pipeline.default_params with
                 budget = Some b;
                 strategy = t.config.strategy;
+                slice = Dataflow.is_proper sl;
               };
           }
         in
@@ -285,13 +308,22 @@ let dispatch t ~fault (r : Protocol.request) =
       let fields =
         memoized w ("cert:" ^ qtext) ~session:name @@ fun () ->
         let q = Parser.parse_query qtext in
+        let sl = slice_of w q in
         let params =
           { Pipeline.default_params with
             budget = Some b;
             strategy = t.config.strategy;
           }
         in
-        cert_fields (Pipeline.construct ~params w.Session.theory w.Session.db q)
+        (* consume the memoized slice directly: a certain verdict needs
+           only the relevant rules, and the probe reports the same depth
+           the full pipeline would (DESIGN.md section 12) *)
+        let outcome =
+          match Pipeline.slice_fast_path ~params sl w.Session.db q with
+          | Some outcome -> outcome
+          | None -> Pipeline.construct ~params w.Session.theory w.Session.db q
+        in
+        cert_fields outcome
       in
       (Protocol.Cert, fields)
 

@@ -12,6 +12,10 @@ type warm = {
   lint : Bddfc_analysis.Diagnostic.counts;
   chase : (int, Bddfc_chase.Chase.result) Hashtbl.t;
   verdicts : (string, (string * Bddfc_obs.Obs.Json.t) list) Hashtbl.t;
+  slices : (string, Bddfc_analysis.Dataflow.slice) Hashtbl.t;
+      (* query-directed rule slices, keyed by the sorted predicate
+         names of the query (Server.slice_of); memo hits bump
+         analysis.slice_hits *)
 }
 
 type entry = {
@@ -38,6 +42,7 @@ let build source =
     lint;
     chase = Hashtbl.create 4;
     verdicts = Hashtbl.create 8;
+    slices = Hashtbl.create 4;
   }
 
 let load store ~name ~source =

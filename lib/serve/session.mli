@@ -27,6 +27,10 @@ type warm = {
       (** memoized definite judge/cert reply fields, keyed by op and
           query text; unknowns are never cached (a later request may
           carry more budget) *)
+  slices : (string, Bddfc_analysis.Dataflow.slice) Hashtbl.t;
+      (** query-directed rule slices ({!Bddfc_analysis.Dataflow.slice}),
+          keyed by the sorted predicate names of the query; a memo hit
+          bumps the [analysis.slice_hits] counter *)
 }
 
 type entry = {

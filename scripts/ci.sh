@@ -69,6 +69,14 @@ dune exec bench/main.exe -- --serve-bench --bench06-check BENCH_06.json
 # cores; wall times are reported either way.
 dune exec bench/main.exe -- --parallel-smoke --bench07-check BENCH_07.json
 
+# the dataflow-analysis smoke (EX-20): every zoo entry's dataflow
+# report must build and its JSON must re-parse; sliced and unsliced
+# certain-answer verdicts must be identical on every slicing workload;
+# the padded workloads must keep their >= 1.5x join-probe reduction;
+# and the probe counts must stay within 10% of the committed EX-20
+# blob.  Wall times are reported, never gated.
+dune exec bench/main.exe -- --analyze-smoke --bench08-check BENCH_08.json
+
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;
 # the registry snapshot is archived as a BENCH_*-style blob
@@ -88,6 +96,15 @@ done
 dune exec bin/bddfc_cli.exe -- zoo | awk '{print $1}' | while read -r n; do
   dune exec bin/bddfc_cli.exe -- zoo "$n" --dump > "$tmp/zoo_$n.dlg"
   dune exec bin/bddfc_cli.exe -- lint --deny-warnings "$tmp/zoo_$n.dlg" > /dev/null
+done
+
+# the analyze gate: the dataflow report must build over the whole zoo
+# in every format, and the JSON must be parse-stable
+for f in "$tmp"/zoo_*.dlg; do
+  dune exec bin/bddfc_cli.exe -- analyze "$f" > /dev/null
+  dune exec bin/bddfc_cli.exe -- analyze --format dot "$f" > /dev/null
+  dune exec bin/bddfc_cli.exe -- analyze --format json "$f" \
+    | python3 -m json.tool > /dev/null
 done
 
 # the Section 5.5 non-FC theory: the chase never settles the query and

@@ -18,14 +18,18 @@ predicates are infos.
   hygiene.dlg:1:1: info[unused-pred]: predicate p/1 is derived but never read (no rule body or query mentions it); witness: atom p(a)
   hygiene.dlg:2:1: error[arity-mismatch]: predicate p is used with 2 different arities (1, 2); witness: p/1 first used at 1:1; p/2 at 2:1
   hygiene.dlg:2:1: info[unused-pred]: predicate p/2 is derived but never read (no rule body or query mentions it); witness: atom p(b,c)
+  hygiene.dlg:3:1: warning[dead-rule]: rule r24 can never fire: body predicate e is unreachable from the given facts; witness: atom e(X,Y)
   hygiene.dlg:3:1: warning[exvar-unused]: declared existential variable Z of rule r24 never occurs in the head; witness: head s(Y,W) of rule r24
   hygiene.dlg:3:1: warning[singleton-var]: variable X occurs only once in rule r24 (prefix it with '_' if that is intended); witness: e(X,Y) in rule r24
   hygiene.dlg:3:1: warning[undefined-pred]: predicate e/2 is never derived: no rule head or fact mentions it; witness: atom e(X,Y)
+  hygiene.dlg:3:21: warning[unreachable-predicate]: predicate s/2 can never hold a fact: no chain of rules derives it from the given facts; witness: rule r24 is blocked by unreachable e
   hygiene.dlg:3:21: warning[unsafe-head-var]: head variable W of rule r24 is not bound in the body and not declared existential (range restriction); it silently becomes an existential witness — did you mean 'exists W.'?; witness: head atom s(Y,W) of rule r24
   hygiene.dlg:3:21: info[unused-pred]: predicate s/2 is derived but never read (no rule body or query mentions it); witness: atom s(Y,W)
+  hygiene.dlg:4:1: warning[dead-rule]: rule r25 can never fire: body predicate u is unreachable from the given facts; witness: atom u(X)
   hygiene.dlg:4:1: warning[undefined-pred]: predicate u/1 is never derived: no rule head or fact mentions it; witness: atom u(X)
+  hygiene.dlg:4:9: warning[unreachable-predicate]: predicate v/1 can never hold a fact: no chain of rules derives it from the given facts; witness: rule r25 is blocked by unreachable u
   hygiene.dlg:5:3: warning[query-unreachable]: query atom v(X) is unreachable: no chain of rules derives v from the given facts; witness: rule r25 derives v but its body predicate u is itself unreachable
-  hygiene.dlg: 1 error, 6 warnings, 3 infos
+  hygiene.dlg: 1 error, 10 warnings, 3 infos
   [2]
 
 Class membership.  Every "no" in the classify report is an info here,
@@ -51,11 +55,14 @@ of the position dependency graph, the sticky-marking trace.
   classes.dlg:3:1: info[not-normalized]: existential rule r26 is not ♠5-normalized: the head must be binary [R(y,z)], got arity 3; witness: head atom t(X,Y,W)
   classes.dlg:3:21: info[non-binary]: atom t(X,Y,W) leaves the binary signature (arity 3); witness: t(X,Y,W) in rule r26
   classes.dlg:3:21: info[unused-pred]: predicate t/3 is derived but never read (no rule body or query mentions it); witness: atom t(X,Y,W)
+  classes.dlg:4:1: warning[dead-rule]: rule r27 can never fire: body predicate b is unreachable from the given facts; witness: atom b(X)
   classes.dlg:4:1: warning[undefined-pred]: predicate b/1 is never derived: no rule head or fact mentions it; witness: atom b(X)
   classes.dlg:4:1: info[multi-head]: rule r27 has 2 head atoms (outside the single-head fragment; normalization splits it); witness: head q(X), s(X)
+  classes.dlg:4:9: warning[unreachable-predicate]: predicate q/1 can never hold a fact: no chain of rules derives it from the given facts; witness: rule r27 is blocked by unreachable b
+  classes.dlg:4:15: warning[unreachable-predicate]: predicate s/1 can never hold a fact: no chain of rules derives it from the given facts; witness: rule r27 is blocked by unreachable b
   classes.dlg:4:15: info[unused-pred]: predicate s/1 is derived but never read (no rule body or query mentions it); witness: atom s(X)
   classes.dlg:6:3: warning[query-unreachable]: query atom q(X) is unreachable: no chain of rules derives q from the given facts; witness: rule r27 derives q but its body predicate b is itself unreachable
-  classes.dlg: 0 errors, 2 warnings, 12 infos
+  classes.dlg: 0 errors, 5 warnings, 12 infos
   $ echo $?
   0
 
@@ -81,12 +88,16 @@ The same diagnostics as machine-readable JSON, one object per line:
   [{"file":"hygiene.dlg","line":1,"col":1,"severity":"info","code":"unused-pred","message":"predicate p/1 is derived but never read (no rule body or query mentions it)","witness":"atom p(a)"},
    {"file":"hygiene.dlg","line":2,"col":1,"severity":"error","code":"arity-mismatch","message":"predicate p is used with 2 different arities (1, 2)","witness":"p/1 first used at 1:1; p/2 at 2:1"},
    {"file":"hygiene.dlg","line":2,"col":1,"severity":"info","code":"unused-pred","message":"predicate p/2 is derived but never read (no rule body or query mentions it)","witness":"atom p(b,c)"},
+   {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"dead-rule","message":"rule r24 can never fire: body predicate e is unreachable from the given facts","witness":"atom e(X,Y)"},
    {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"exvar-unused","message":"declared existential variable Z of rule r24 never occurs in the head","witness":"head s(Y,W) of rule r24"},
    {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"singleton-var","message":"variable X occurs only once in rule r24 (prefix it with '_' if that is intended)","witness":"e(X,Y) in rule r24"},
    {"file":"hygiene.dlg","line":3,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate e/2 is never derived: no rule head or fact mentions it","witness":"atom e(X,Y)"},
+   {"file":"hygiene.dlg","line":3,"col":21,"severity":"warning","code":"unreachable-predicate","message":"predicate s/2 can never hold a fact: no chain of rules derives it from the given facts","witness":"rule r24 is blocked by unreachable e"},
    {"file":"hygiene.dlg","line":3,"col":21,"severity":"warning","code":"unsafe-head-var","message":"head variable W of rule r24 is not bound in the body and not declared existential (range restriction); it silently becomes an existential witness — did you mean 'exists W.'?","witness":"head atom s(Y,W) of rule r24"},
    {"file":"hygiene.dlg","line":3,"col":21,"severity":"info","code":"unused-pred","message":"predicate s/2 is derived but never read (no rule body or query mentions it)","witness":"atom s(Y,W)"},
+   {"file":"hygiene.dlg","line":4,"col":1,"severity":"warning","code":"dead-rule","message":"rule r25 can never fire: body predicate u is unreachable from the given facts","witness":"atom u(X)"},
    {"file":"hygiene.dlg","line":4,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate u/1 is never derived: no rule head or fact mentions it","witness":"atom u(X)"},
+   {"file":"hygiene.dlg","line":4,"col":9,"severity":"warning","code":"unreachable-predicate","message":"predicate v/1 can never hold a fact: no chain of rules derives it from the given facts","witness":"rule r25 is blocked by unreachable u"},
    {"file":"hygiene.dlg","line":5,"col":3,"severity":"warning","code":"query-unreachable","message":"query atom v(X) is unreachable: no chain of rules derives v from the given facts","witness":"rule r25 derives v but its body predicate u is itself unreachable"}]
   [2]
   $ bddfc lint --format json classes.dlg
@@ -100,8 +111,11 @@ The same diagnostics as machine-readable JSON, one object per line:
    {"file":"classes.dlg","line":3,"col":1,"severity":"info","code":"not-normalized","message":"existential rule r26 is not ♠5-normalized: the head must be binary [R(y,z)], got arity 3","witness":"head atom t(X,Y,W)"},
    {"file":"classes.dlg","line":3,"col":21,"severity":"info","code":"non-binary","message":"atom t(X,Y,W) leaves the binary signature (arity 3)","witness":"t(X,Y,W) in rule r26"},
    {"file":"classes.dlg","line":3,"col":21,"severity":"info","code":"unused-pred","message":"predicate t/3 is derived but never read (no rule body or query mentions it)","witness":"atom t(X,Y,W)"},
+   {"file":"classes.dlg","line":4,"col":1,"severity":"warning","code":"dead-rule","message":"rule r27 can never fire: body predicate b is unreachable from the given facts","witness":"atom b(X)"},
    {"file":"classes.dlg","line":4,"col":1,"severity":"warning","code":"undefined-pred","message":"predicate b/1 is never derived: no rule head or fact mentions it","witness":"atom b(X)"},
    {"file":"classes.dlg","line":4,"col":1,"severity":"info","code":"multi-head","message":"rule r27 has 2 head atoms (outside the single-head fragment; normalization splits it)","witness":"head q(X), s(X)"},
+   {"file":"classes.dlg","line":4,"col":9,"severity":"warning","code":"unreachable-predicate","message":"predicate q/1 can never hold a fact: no chain of rules derives it from the given facts","witness":"rule r27 is blocked by unreachable b"},
+   {"file":"classes.dlg","line":4,"col":15,"severity":"warning","code":"unreachable-predicate","message":"predicate s/1 can never hold a fact: no chain of rules derives it from the given facts","witness":"rule r27 is blocked by unreachable b"},
    {"file":"classes.dlg","line":4,"col":15,"severity":"info","code":"unused-pred","message":"predicate s/1 is derived but never read (no rule body or query mentions it)","witness":"atom s(X)"},
    {"file":"classes.dlg","line":6,"col":3,"severity":"warning","code":"query-unreachable","message":"query atom q(X) is unreachable: no chain of rules derives q from the given facts","witness":"rule r27 derives q but its body predicate b is itself unreachable"}]
   $ echo $?
@@ -121,5 +135,24 @@ info-level findings:
   clean.dlg:1:1: info[ja-cycle]: the theory is not jointly acyclic: the existential-variable dependency graph has a cycle; witness: r24:Y
   clean.dlg:1:1: info[wa-cycle]: the theory is not weakly acyclic: a special edge of the position dependency graph lies on a cycle (the chase may not terminate); witness: person[1] =(r24:exists Y)=> knows[2]; knows[2] -(r25:Y)-> person[1]
   clean.dlg: 0 errors, 0 warnings, 2 infos
+  $ echo $?
+  0
+
+The whole-theory dataflow codes: a ground body atom over an extensional
+predicate that matches no fact can never hold (unsatisfiable-body), and
+the rule carrying it can never fire (dead-rule is not emitted for it —
+its predicates are all reachable; the two codes are independent):
+
+  $ cat > unsat.dlg <<'EOF_'
+  > color(red). color(blue).
+  > color(green), color(X) -> warm(X).
+  > color(red), color(X) -> bright(X).
+  > ? bright(X).
+  > EOF_
+  $ bddfc lint unsat.dlg
+  unsat.dlg:2:1: warning[unsatisfiable-body]: rule r24 can never fire: ground atom color(green) is over the extensional predicate color and matches no fact; witness: atom color(green)
+  unsat.dlg:2:1: info[non-linear]: the theory is not linear: rule r24 has 2 body atoms; witness: body color(green), color(X)
+  unsat.dlg:2:27: info[unused-pred]: predicate warm/1 is derived but never read (no rule body or query mentions it); witness: atom warm(X)
+  unsat.dlg: 0 errors, 1 warning, 2 infos
   $ echo $?
   0

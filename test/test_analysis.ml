@@ -255,6 +255,175 @@ let test_judge_chase_terminating () =
   check Alcotest.bool "sec55 is not" false
     v'.Bddfc_finitemodel.Judge.chase_terminating
 
+(* ---------------- position dataflow ---------------- *)
+
+module Df = Dataflow
+module Chase = Bddfc_chase.Chase
+module Instance = Bddfc_structure.Instance
+
+let pred = Pred.make
+let pset names = Pred.Set.of_list (List.map (fun (n, a) -> pred n a) names)
+
+let pset_str s =
+  String.concat ","
+    (List.sort String.compare
+       (List.map Pred.name (Pred.Set.elements s)))
+
+let test_df_graph () =
+  let g = Df.build (th "p(X) -> exists Y. e(X,Y). e(_X,Y) -> q(Y).") in
+  (* the null-flow closure: Y is born at e[2] and flows on to q[1] *)
+  check Alcotest.bool "e[2] nullable" true (Df.nullable g (pred "e" 2, 1));
+  check Alcotest.bool "q[1] nullable" true (Df.nullable g (pred "q" 1, 0));
+  check Alcotest.bool "p[1] finite-range" true
+    (Df.finite_range g (pred "p" 1, 0));
+  check Alcotest.bool "e[1] finite-range" true
+    (Df.finite_range g (pred "e" 2, 0));
+  check Alcotest.int "all positions" 4 (List.length (Df.positions g));
+  (* predicate edges: rule 1 contributes both a regular p -> e edge
+     (the frontier X) and a special one (the existential Y); rule 2 a
+     regular e -> q edge — special and regular flows stay separate *)
+  (match g.Df.pred_edges with
+  | [ pe_reg; pe_sp; eq ] ->
+      check Alcotest.string "src" "p" (Pred.name pe_reg.Df.src);
+      check Alcotest.string "dst" "e" (Pred.name pe_reg.Df.dst);
+      check Alcotest.bool "p -> e frontier edge regular" false
+        pe_reg.Df.special;
+      check Alcotest.bool "p -> e existential edge special" true
+        pe_sp.Df.special;
+      check
+        Alcotest.(list (triple int int string))
+        "special witness: p[1] to e[2] via Y"
+        [ (0, 1, "Y") ]
+        pe_sp.Df.via;
+      check Alcotest.bool "e -> q regular" false eq.Df.special;
+      check
+        Alcotest.(list (triple int int string))
+        "e -> q witness: e[2] to q[1] via Y"
+        [ (1, 0, "Y") ]
+        eq.Df.via
+  | es -> Alcotest.failf "expected 3 predicate edges, got %d" (List.length es))
+
+let test_df_reachability () =
+  let t =
+    th {| e(X,Y) -> p(X).
+          ghost(X) -> q(X).
+          p(X), q(X) -> both(X). |}
+  in
+  check Alcotest.string "implicit EDB" "e,ghost"
+    (pset_str (Df.implicit_edb t));
+  let edb = pset [ ("e", 2) ] in
+  check Alcotest.string "reachable from e" "e,p"
+    (pset_str (Df.reachable_from ~edb t));
+  let l = Df.liveness ~edb t in
+  check Alcotest.int "one live rule" 1 (List.length l.Df.live);
+  (match l.Df.dead with
+  | [ (_, b1); (_, b2) ] ->
+      check Alcotest.string "ghost blocks rule 2" "ghost" (Pred.name b1);
+      check Alcotest.string "q blocks rule 3" "q" (Pred.name b2)
+  | ds -> Alcotest.failf "expected 2 dead rules, got %d" (List.length ds));
+  (* with ghost in the EDB everything lives *)
+  let l' = Df.liveness ~edb:(pset [ ("e", 2); ("ghost", 1) ]) t in
+  check Alcotest.int "no dead rules" 0 (List.length l'.Df.dead)
+
+let two_component_theory =
+  {| e(X,Y), e(Y,Z) -> e(X,Z).
+     e(X,Y) -> reach(Y).
+     f(U,V), f(V,W) -> f(U,W).
+     f(U,V) -> far(V). |}
+
+let test_df_slice () =
+  let t = th two_component_theory in
+  let q = Parser.parse_query "? reach(X)." in
+  let sl = Df.slice t (Ucq.of_cq q) in
+  check Alcotest.bool "proper" true (Df.is_proper sl);
+  check Alcotest.int "kept the e-component" 2 (List.length sl.Df.kept);
+  check Alcotest.int "dropped the f-component" 2 (List.length sl.Df.dropped);
+  check Alcotest.string "relevant set" "e,reach" (pset_str sl.Df.relevant);
+  check Alcotest.int "sliced theory size" 2 (Theory.size sl.Df.sliced);
+  (* a query spanning both components keeps everything *)
+  let q' = Parser.parse_query "? reach(X), far(Y)." in
+  let sl' = Df.slice t (Ucq.of_cq q') in
+  check Alcotest.bool "nothing to drop" false (Df.is_proper sl')
+
+let test_df_slice_strong_closure () =
+  (* the kept rule's whole head joins the relevant set: the restricted
+     chase's witness check reads both head atoms, so c must survive *)
+  let t = th "a(X) -> b(X), c(X). c(X) -> d(X)." in
+  let sl = Df.slice_preds t (pset [ ("b", 1) ]) in
+  check Alcotest.string "b pulls in the whole head" "a,b,c"
+    (pset_str sl.Df.relevant);
+  check Alcotest.int "kept" 1 (List.length sl.Df.kept);
+  (* ... but rules *consuming* c are not pulled in backwards *)
+  check Alcotest.int "dropped the c-consumer" 1 (List.length sl.Df.dropped)
+
+let test_df_certain_agrees () =
+  let t = th two_component_theory in
+  let d =
+    Instance.of_atoms
+      (Parser.parse_atoms "e(a,b). e(b,c). f(a,b). f(b,c).")
+  in
+  let q = Parser.parse_query "? reach(c)." in
+  let show = function
+    | Chase.Entailed k -> Printf.sprintf "entailed:%d" k
+    | Chase.Not_entailed -> "not-entailed"
+    | Chase.Unknown (r, k) ->
+        Printf.sprintf "unknown:%s:%d" (Budget.resource_name r) k
+  in
+  let full = Chase.run ~max_rounds:8 t d in
+  let unsliced = Chase.certain ~max_rounds:8 t d q in
+  let sliced = Df.certain ~max_rounds:8 t d q in
+  check Alcotest.string "verdicts agree" (show unsliced) (show sliced);
+  (* and the slice genuinely chased less: no far-facts were derived *)
+  let sl = Df.slice t (Ucq.of_cq q) in
+  let r = Chase.run ~max_rounds:8 sl.Df.sliced d in
+  check Alcotest.bool "sliced chase is smaller" true
+    (Instance.num_facts r.Chase.instance
+    < Instance.num_facts full.Chase.instance)
+
+let test_df_analyzer_agreement () =
+  (* the lint codes are the user-facing face of Df.liveness: the same
+     rules and predicates must be reported by both *)
+  let p =
+    prog
+      {| e(a,b).
+         e(X,Y) -> p(X).
+         ghost(X) -> q(X).
+         ? p(X). |}
+  in
+  let ds = A.analyze (A.of_program p) in
+  check Alcotest.bool "dead-rule" true (A.has_code A.Codes.dead_rule ds);
+  check Alcotest.bool "unreachable-predicate" true
+    (A.has_code A.Codes.unreachable_predicate ds);
+  check Alcotest.bool "ghost named" true
+    (contains ~affix:"ghost" (witness_of A.Codes.dead_rule ds));
+  let t = Theory.make p.Parser.rules in
+  let edb = pset [ ("e", 2) ] in
+  let l = Df.liveness ~edb t in
+  check Alcotest.int "liveness agrees: one dead rule" 1
+    (List.length l.Df.dead);
+  check Alcotest.string "liveness agrees: ghost blocks it" "ghost"
+    (Pred.name (snd (List.hd l.Df.dead)))
+
+let test_df_report_formats () =
+  let t = th two_component_theory in
+  let q = Parser.parse_query "? reach(X)." in
+  let r = Df.report ~facts:(pset [ ("e", 2); ("f", 2) ]) ~queries:[ q ] t in
+  let json = Bddfc_obs.Obs.Json.to_string (Df.report_json r) in
+  (match Bddfc_obs.Obs.Json.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "report JSON does not re-parse: %s" e);
+  let dot = Df.report_dot r in
+  check Alcotest.bool "dot digraph" true (contains ~affix:"digraph" dot);
+  check Alcotest.bool "dot has the slice query's pred" true
+    (contains ~affix:"reach" dot);
+  let text = Fmt.str "%a" Df.pp_report r in
+  List.iter
+    (fun section ->
+      check Alcotest.bool ("text section " ^ section) true
+        (contains ~affix:section text))
+    [ "== predicates =="; "== null flow =="; "== reachability ==";
+      "== rules =="; "== slices ==" ]
+
 let suite =
   ( "analysis",
     [ tc "empty theory is clean" test_empty_theory;
@@ -272,5 +441,16 @@ let suite =
       tc "diagnostic ordering" test_ordering;
       tc "pre-flight upgrades Unknown to definite" test_preflight_upgrades;
       tc "pre-flight skips cyclic theories" test_preflight_skips_cyclic;
-      tc "judge reports chase termination" test_judge_chase_terminating
+      tc "judge reports chase termination" test_judge_chase_terminating;
+      tc "dataflow: graph, null flow, finite range" test_df_graph;
+      tc "dataflow: reachability and liveness" test_df_reachability;
+      tc "dataflow: query-directed slice" test_df_slice;
+      tc "dataflow: slice closure keeps whole heads"
+        test_df_slice_strong_closure;
+      tc "dataflow: sliced certain agrees and chases less"
+        test_df_certain_agrees;
+      tc "dataflow: liveness agrees with the lint codes"
+        test_df_analyzer_agreement;
+      tc "dataflow: report text/json/dot are well-formed"
+        test_df_report_formats
     ] )

@@ -517,6 +517,184 @@ let test_engine_round_budget_agreement () =
         [ 1; 2; 3 ])
     (List.init 8 (fun i -> i * 7))
 
+(* ----------------------------------------------------------------- *)
+(* Query-directed slicing                                              *)
+(* ----------------------------------------------------------------- *)
+
+(* Sliced certain answering against the full chase.  The slicer's
+   contract (DESIGN.md section 12): over relevant predicates the sliced
+   restricted chase derives the same facts round for round, so an
+   [Entailed] verdict carries the identical depth, a full-theory
+   [Not_entailed] fixpoint forces a sliced one, and exhaustion can only
+   be *upgraded* by the slice (the sliced chase does strictly less work,
+   e.g. reaching a fixpoint where the padding rules chased on) — never
+   flipped or degraded. *)
+
+module Df = Bddfc_analysis.Dataflow
+module Judge = Bddfc_finitemodel.Judge
+module Pipeline = Bddfc_finitemodel.Pipeline
+
+let certainty_str = function
+  | Chase.Entailed k -> Printf.sprintf "entailed:%d" k
+  | Chase.Not_entailed -> "not-entailed"
+  | Chase.Unknown (r, k) ->
+      Printf.sprintf "unknown:%s:%d" (Budget.resource_name r) k
+
+let check_slice_compatible name unsliced sliced =
+  match (unsliced, sliced) with
+  | Chase.Entailed a, Chase.Entailed b ->
+      check Alcotest.int (name ^ ": entailment depth") a b
+  | Chase.Not_entailed, Chase.Not_entailed -> ()
+  | Chase.Unknown _, Chase.Not_entailed ->
+      (* the slice reached a fixpoint the padded theory could not *)
+      ()
+  | Chase.Unknown _, Chase.Unknown _ ->
+      check Alcotest.string (name ^ ": same exhaustion")
+        (certainty_str unsliced) (certainty_str sliced)
+  | _ ->
+      Alcotest.failf "%s: unsliced %s vs sliced %s" name
+        (certainty_str unsliced) (certainty_str sliced)
+
+let test_slice_zoo_certain () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let unsliced =
+        Chase.certain ~max_rounds:8 ~max_elements:4_000 e.Zoo.theory d
+          e.Zoo.query
+      in
+      let sliced =
+        Df.certain ~max_rounds:8 ~max_elements:4_000 e.Zoo.theory d
+          e.Zoo.query
+      in
+      check_slice_compatible e.Zoo.name unsliced sliced)
+    Zoo.all
+
+let test_slice_random_certain () =
+  (* rule bodies over random theories double as the query corpus; every
+     seed exercises slices from trivial (everything relevant) to proper *)
+  List.iter
+    (fun seed ->
+      let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+      let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+      List.iteri
+        (fun i rule ->
+          let q = Rule.body_query rule in
+          let unsliced =
+            Chase.certain ~max_rounds:6 ~max_elements:4_000 theory d q
+          in
+          let sliced =
+            Df.certain ~max_rounds:6 ~max_elements:4_000 theory d q
+          in
+          check_slice_compatible
+            (Printf.sprintf "seed %d rule %d" seed i)
+            unsliced sliced)
+        (Theory.rules theory))
+    random_cases
+
+let test_slice_judge_agreement () =
+  (* the pipeline's slice fast path may only change *how fast* a
+     certain verdict arrives, never which verdict: judge with slicing on
+     agrees with the default on every zoo workload *)
+  let evidence_str (v : Judge.verdict) =
+    Fmt.str "%a" Judge.pp_evidence v.Judge.evidence
+  in
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let d = Zoo.database_instance e in
+      let go slice =
+        Judge.judge
+          ~budget:
+            {
+              Judge.default_budget with
+              pipeline_params = { Pipeline.default_params with slice };
+            }
+          e.Zoo.theory d e.Zoo.query
+      in
+      let a = go false and b = go true in
+      check Alcotest.string
+        (e.Zoo.name ^ ": judge evidence")
+        (evidence_str a) (evidence_str b);
+      check Alcotest.bool
+        (e.Zoo.name ^ ": conjecture_applies")
+        a.Judge.conjecture_applies b.Judge.conjecture_applies;
+      check Alcotest.bool
+        (e.Zoo.name ^ ": chase_terminating")
+        a.Judge.chase_terminating b.Judge.chase_terminating)
+    Zoo.all
+
+let test_slice_judge_depth_regression () =
+  (* a theory that is both certain *and* properly sliceable — the zoo
+     has neither, which once hid a depth mismatch: the fast path used a
+     raw [Chase.certain] depth, but the pipeline recovers depth from the
+     watched round of the *normalized* chase, where spade5's existential
+     split lags derivations through witnesses by a round.  The probe now
+     goes through the same hide-and-normalize machinery, so both sides
+     must report the identical depth. *)
+  let t =
+    th
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z).
+         f(U,V), f(V,W) -> f(U,W). |}
+  in
+  let d = db "e(a,b). f(a,b). f(b,c)." in
+  let q = Parser.parse_query "? p(X,Z)." in
+  let sl = Df.slice t (Ucq.of_cq q) in
+  check Alcotest.bool "slice is proper (fast path engages)" true
+    (Df.is_proper sl);
+  let go slice =
+    Judge.judge
+      ~budget:
+        {
+          Judge.default_budget with
+          pipeline_params = { Pipeline.default_params with slice };
+        }
+      t d q
+  in
+  let a = go false and b = go true in
+  let evidence_str (v : Judge.verdict) =
+    Fmt.str "%a" Judge.pp_evidence v.Judge.evidence
+  in
+  check Alcotest.string "judge evidence (incl. depth)" (evidence_str a)
+    (evidence_str b);
+  (match Pipeline.slice_fast_path sl d q with
+  | Some (Pipeline.Query_entailed fast_depth) -> (
+      match
+        Pipeline.construct
+          ~params:{ Pipeline.default_params with slice = false }
+          t d q
+      with
+      | Pipeline.Query_entailed full_depth ->
+          check Alcotest.int "probe depth = pipeline depth" full_depth
+            fast_depth
+      | _ -> Alcotest.fail "unsliced pipeline should entail")
+  | _ -> Alcotest.fail "fast path should entail on a proper slice")
+
+let test_slice_fuel_trap_deterministic () =
+  (* the sliced path charges the same governor the same way on every
+     run: a mid-run trap replays identically and never leaks *)
+  let t =
+    th
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z).
+         f(U,V) -> exists W. f(V,W). |}
+  in
+  let d = db "e(a,b). e(b,c). f(a,b)." in
+  let q = Parser.parse_query "? p(X,Z)." in
+  List.iter
+    (fun after ->
+      let go () =
+        let b = Budget.with_fuel_trap ~after (Budget.v ()) in
+        match Df.certain ~budget:b ~max_rounds:12 t d q with
+        | exception Budget.Exhausted _ ->
+            Alcotest.failf "sliced trap %d leaked Budget.Exhausted" after
+        | c -> certainty_str c
+      in
+      check Alcotest.string
+        (Printf.sprintf "trap %d replays" after)
+        (go ()) (go ()))
+    [ 1; 2; 3; 5; 8; 13 ]
+
 let suite =
   ( "differential",
     [ tc "zoo: naive vs seminaive agree" test_zoo_agreement;
@@ -545,4 +723,13 @@ let suite =
       tc "engines: fuel traps degrade identically" test_engine_fuel_trap;
       tc "engines: round-budget prefixes agree"
         test_engine_round_budget_agreement;
+      tc "slicing: zoo certain verdicts compatible" test_slice_zoo_certain;
+      tc "slicing: 60 random seeds' verdicts compatible"
+        test_slice_random_certain;
+      tc "slicing: judge verdicts identical with the fast path on"
+        test_slice_judge_agreement;
+      tc "slicing: fast-path depth matches the normalized pipeline"
+        test_slice_judge_depth_regression;
+      tc "slicing: fuel traps replay deterministically, no leak"
+        test_slice_fuel_trap_deterministic;
     ] )

@@ -402,6 +402,85 @@ let test_parallel_one_is_sequential () =
   check Alcotest.int "no sharding engaged" seen0
     (Obs.Metrics.Shard.domains_seen ())
 
+(* ----------------------------------------------------------------- *)
+(* Phase-discipline sanitizer                                         *)
+(* ----------------------------------------------------------------- *)
+
+let with_check b f =
+  Shard.Check.override := Some b;
+  Shard.Check.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Shard.Check.override := None;
+      Shard.Check.reset ())
+    f
+
+let test_check_inert_when_off () =
+  (* the checker must be a no-op unless asked for: zero checks recorded
+     and bit-identical results, even under chaos scheduling *)
+  let theory, d = random_case 21 in
+  let go () =
+    Chase.run ~strategy:(Chase.Parallel 4) ~max_rounds:6 ~max_elements:400
+      theory d
+  in
+  let reference = go () in
+  with_check false (fun () ->
+      check Alcotest.bool "checker reports off" false (Shard.Check.enabled ());
+      with_chaos { Shard.chaos_seed = 5; chaos_max_delay_us = 150 } (fun () ->
+          check_identical "check off under chaos" reference (go ()));
+      check Alcotest.int "no checks recorded" 0 (Shard.Check.count ()))
+
+let test_check_clean_when_on () =
+  (* the engine itself honours the discipline: with the checker armed,
+     chased workloads (chaos included) raise no Violation, record a
+     positive check count, and stay bit-identical to the unchecked run *)
+  let theory, d = random_case 21 in
+  let go () =
+    Chase.run ~strategy:(Chase.Parallel 4) ~max_rounds:6 ~max_elements:400
+      theory d
+  in
+  let reference = go () in
+  with_check true (fun () ->
+      check Alcotest.bool "checker reports on" true (Shard.Check.enabled ());
+      check_identical "checked run" reference (go ());
+      let n = Shard.Check.count () in
+      if n <= 0 then Alcotest.failf "expected checks, recorded %d" n;
+      with_chaos { Shard.chaos_seed = 9; chaos_max_delay_us = 150 } (fun () ->
+          check_identical "checked run under chaos" reference (go ())))
+
+let test_check_violations_raise () =
+  with_check true (fun () ->
+      (* a worker observing a post-snapshot mutation *)
+      Shard.Check.phase_a ~facts:10 ~elements:3;
+      (try
+         Shard.Check.observe ~facts:11 ~elements:3;
+         Alcotest.fail "mutated snapshot not flagged"
+       with Shard.Check.Violation _ -> ());
+      Shard.Check.observe ~facts:10 ~elements:3;
+      (* a mutation from a non-coordinating domain *)
+      let worker = Domain.spawn (fun () -> Shard.Check.mutating ()) in
+      (try
+         Domain.join worker;
+         Alcotest.fail "off-coordinator mutation not flagged"
+       with Shard.Check.Violation _ -> ());
+      (* the coordinator itself may mutate between batches *)
+      Shard.Check.mutating ())
+
+let test_check_violation_crosses_pool () =
+  (* a Violation raised inside a pool job is re-raised from [run] on the
+     coordinating domain, like any job failure *)
+  with_check true (fun () ->
+      Shard.Check.phase_a ~facts:1 ~elements:1;
+      let pool = Shard.create 2 in
+      Fun.protect
+        ~finally:(fun () -> Shard.shutdown pool)
+        (fun () ->
+          try
+            Shard.run pool ~njobs:4 (fun _ ->
+                Shard.Check.observe ~facts:2 ~elements:1);
+            Alcotest.fail "Violation swallowed by the pool"
+          with Shard.Check.Violation _ -> ()))
+
 let suite =
   ( "parallel",
     [ tc "zoo: every domain count bit-identical to seminaive"
@@ -424,4 +503,10 @@ let suite =
       tc "saturate/run_depth/certain/provenance agree"
         test_other_entry_points;
       tc "parallel 1 is the sequential path" test_parallel_one_is_sequential;
+      tc "shard check: inert when off" test_check_inert_when_off;
+      tc "shard check: engine passes with checker armed"
+        test_check_clean_when_on;
+      tc "shard check: violations raise" test_check_violations_raise;
+      tc "shard check: violations cross the pool barrier"
+        test_check_violation_crosses_pool;
     ] )
