@@ -74,6 +74,19 @@ let analyze_smoke_only = ref false
 let bench08_out = ref ""
 let bench08_check = ref ""
 
+(* --hc-smoke runs only EX-21's hash-consing harness: every workload
+   under the structural containment backend and then the interned one,
+   gating verdict identity always, the >50% memo hit rate on the
+   depth-sweep rows (their whole point is re-asking the same canonical
+   queries), and a >= 1.5x wall speedup on at least one row (both arms
+   run in the same process, so the ratio is fair); --bench09-out writes
+   the table as BENCH_09.json; --bench09-check gates the deterministic
+   memo counters (within 10%) and the hit rates against the committed
+   blob.  Wall times are reported, never gated against the blob. *)
+let hc_smoke_only = ref false
+let bench09_out = ref ""
+let bench09_check = ref ""
+
 let parse_args () =
   let timeout = ref nan in
   let fuel = ref 0 in
@@ -130,14 +143,24 @@ let parse_args () =
       ("--bench08-out", Arg.Set_string bench08_out,
        "FILE write EX-20's sliced-vs-unsliced measurements (BENCH_08)");
       ("--bench08-check", Arg.Set_string bench08_check,
-       "FILE fail when EX-20's probe counts regress >10% vs the blob") ]
+       "FILE fail when EX-20's probe counts regress >10% vs the blob");
+      ("--hc-smoke", Arg.Set hc_smoke_only,
+       " run only EX-21's hash-consing harness (interned vs structural \
+        verdict identity + memo hit rate + speedup); exit 1 on a \
+        violation");
+      ("--bench09-out", Arg.Set_string bench09_out,
+       "FILE write EX-21's interned-vs-structural measurements (BENCH_09)");
+      ("--bench09-check", Arg.Set_string bench09_check,
+       "FILE fail when EX-21's memo counters or hit rates regress >10% \
+        vs the blob") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--timeout SECONDS] [--fuel N] [--strategy S] [--strategy-smoke] \
      [--obs-smoke] [--eval-smoke] [--metrics-out FILE] [--bench05-out FILE] \
      [--bench05-check FILE] [--serve-bench] [--bench06-out FILE] \
      [--bench06-check FILE] [--parallel-smoke] [--bench07-out FILE] \
      [--bench07-check FILE] [--analyze-smoke] [--bench08-out FILE] \
-     [--bench08-check FILE]";
+     [--bench08-check FILE] [--hc-smoke] [--bench09-out FILE] \
+     [--bench09-check FILE]";
   let some_if cond v = if cond then Some v else None in
   let deadline_s = some_if (Float.is_finite !timeout) !timeout in
   let fuel = some_if (!fuel > 0) !fuel in
@@ -2202,6 +2225,416 @@ let run_ex17 () =
   if !bench05_out <> "" then ex17_write_blob rows !bench05_out;
   if !bench05_check <> "" then ex17_check rows !bench05_check else 0
 
+(* ------------------------------------------------------------------- *)
+(* EX-21: hash-consed containment — interned vs structural              *)
+(* ------------------------------------------------------------------- *)
+
+(* Every workload runs twice from a reset store: once under the
+   structural containment backend (the original uncached code) and once
+   under the interned one (unique table + memo caches).  The verdict
+   strings must be identical — byte for byte — and the interned arm's
+   registry deltas expose how much of the work the caches absorbed.
+   The depth-sweep rows exist to re-ask the same canonical queries many
+   times over (repeated kappa / judge calls, a converge trace over a
+   fixed base, an n-schedule sweep), so their memo hit rate is gated
+   above 50%; the wall-clock ratio is gated (>= 1.5x somewhere) only
+   live, where both arms ran on the same machine in the same process. *)
+
+type ex21_row = {
+  h_workload : string;
+  h_gate_hits : bool;
+  h_verdict_structural : string;
+  h_verdict_interned : string;
+  h_memo_lookups : int;
+  h_memo_hits : int;
+  h_eval_lookups : int;
+  h_eval_hits : int;
+  h_store_nodes : int;
+  h_wall_structural_s : float;
+  h_wall_interned_s : float;
+}
+
+let ex21_params hc =
+  {
+    Finitemodel.Pipeline.default_params with
+    Finitemodel.Pipeline.n_schedule = [ 1; 2; 3 ];
+    budget = !governor;
+    hc;
+  }
+
+let ex21_pipeline_sig = function
+  | Finitemodel.Pipeline.Query_entailed d -> Printf.sprintf "certain:%d" d
+  | Finitemodel.Pipeline.Model (cert, stats) ->
+      Printf.sprintf "model:%d:n%s"
+        (I.num_elements cert.Finitemodel.Certificate.model)
+        (match stats.Finitemodel.Pipeline.n_used with
+        | Some n -> string_of_int n
+        | None -> "-")
+  | Finitemodel.Pipeline.Unknown _ -> "unknown"
+
+let ex21_judge_sig (v : Finitemodel.Judge.verdict) =
+  match v.Finitemodel.Judge.evidence with
+  | Finitemodel.Judge.Certain d -> Printf.sprintf "certain:%d" d
+  | Finitemodel.Judge.Witness (cert, _) ->
+      Printf.sprintf "model:%d"
+        (I.num_elements cert.Finitemodel.Certificate.model)
+  | Finitemodel.Judge.No_small_model { max_extra; _ } ->
+      Printf.sprintf "nosmall:%d" max_extra
+  | Finitemodel.Judge.Open _ -> "open"
+
+(* (name, gates-the-hit-rate, verdict-producing run) *)
+let ex21_workloads () =
+  let gen_padded =
+    Logic.Parser.parse_theory
+      {| e(X,Y) -> exists Z. e(Y,Z).
+         e(X,Y), e(Y,Z) -> p(X,Z).
+         f(U,V) -> exists W. f(V,W).
+         f(U,V), f(V,W) -> q(U,W). |}
+  in
+  let tc_sym =
+    Logic.Parser.parse_theory "e(X,Y) -> e(Y,X). e(X,Y), e(Y,Z) -> e(X,Z)."
+  in
+  let tc_query = Logic.Parser.parse_query "? e(X,Y)." in
+  let ex1 = Option.get (Zoo.find "ex1") in
+  let ex7 = Option.get (Zoo.find "ex7") in
+  let redundant_path =
+    (* a 12-edge path with shadow detours that all fold onto it: every
+       minimize pass does one large-query subsumption check per atom,
+       and each structural check compiles and runs a ~20-atom join *)
+    let e i j = Logic.Atom.app "e" [ Logic.Term.var i; Logic.Term.var j ] in
+    let x i = "x" ^ string_of_int i in
+    let chain = List.init 12 (fun i -> e (x i) (x (i + 1))) in
+    let shadows =
+      List.concat_map
+        (fun i ->
+          let w = "w" ^ string_of_int i in
+          [ e (x i) w; e w (x (i + 2)) ])
+        [ 0; 2; 4; 6 ]
+    in
+    Logic.Cq.make ~answer:[ x 0 ] (chain @ shadows)
+  in
+  [ ( "minimize-x40/path12",
+      true,
+      fun hc ->
+        (* the serve-style warm workload: the same large query minimized
+           over and over — after the first pass every subsumption check
+           is a pure memo hit under the interned backend, while the
+           structural oracle re-runs every join *)
+        let last = ref "" in
+        for _ = 1 to 40 do
+          last :=
+            Printf.sprintf "min:%d"
+              (Logic.Cq.num_atoms (Hom.Containment.minimize ~hc redundant_path))
+        done;
+        !last );
+    ( "rewrite-x3/tc-sym",
+      true,
+      fun hc ->
+        (* the saturating rewriting: every kept disjunct is subsumption-
+           checked against every candidate, and the whole loop repeats
+           three times — the second and third passes are pure memo *)
+        let last = ref "" in
+        for _ = 1 to 3 do
+          let r =
+            Rewriting.Rewrite.rewrite ?budget:!governor ~hc ~max_disjuncts:80
+              ~max_steps:800 tc_sym tc_query
+          in
+          last :=
+            Printf.sprintf "ucq:%d:%s" (List.length r.Rewriting.Rewrite.ucq)
+              (if r.Rewriting.Rewrite.complete then "complete" else "capped")
+        done;
+        !last );
+    ( "kappa-x5/gen-pad",
+      true,
+      fun hc ->
+        let last = ref "" in
+        for _ = 1 to 5 do
+          let k =
+            Rewriting.Rewrite.kappa ?budget:!governor ~hc ~max_disjuncts:60
+              ~max_steps:600 gen_padded
+          in
+          last :=
+            Printf.sprintf "kappa:%d:%s" k.Rewriting.Rewrite.kappa
+              (if k.Rewriting.Rewrite.all_complete then "complete"
+               else "incomplete")
+        done;
+        !last );
+    ( "judge-x3/ex1",
+      true,
+      fun hc ->
+        let budget =
+          {
+            Finitemodel.Judge.default_budget with
+            Finitemodel.Judge.pipeline_params = ex21_params hc;
+          }
+        in
+        let last = ref "" in
+        for _ = 1 to 3 do
+          last :=
+            ex21_judge_sig
+              (Finitemodel.Judge.judge ~budget ex1.Zoo.theory
+                 (Zoo.database_instance ex1) ex1.Zoo.query)
+        done;
+        !last );
+    ( "classes-x3/null-chain24",
+      true,
+      fun hc ->
+        (* the 2-variable ptype partition of one fixed null-rich
+           structure, three times over: the canonical queries of
+           overlapping null sets repeat across anchors within a pass,
+           and every inclusion check after the first pass hits the
+           evaluation memo (same instance token and version) *)
+        let inst = Gen.null_chain ~len:24 () in
+        let last = ref "" in
+        for _ = 1 to 3 do
+          let _, n = Hom.Ptypes.classes ~hc ~vars:2 inst in
+          last := Printf.sprintf "classes:%d" n
+        done;
+        !last );
+    ( "converge-sweep/cycle5",
+      false,
+      fun hc ->
+        let coloring = Ptp.Coloring.natural ~m:2 (Gen.cycle ~len:5 ()) in
+        let p =
+          Logic.Atom.pred
+            (Logic.Atom.app "e" [ Logic.Term.var "X"; Logic.Term.var "Y" ])
+        in
+        let trace =
+          Ptp.Converge.sequence ~hc ~max_n:6 coloring
+            (Ptp.Converge.default_queries [ p ])
+        in
+        String.concat "/"
+          (List.map
+             (fun (pt : Ptp.Converge.point) ->
+               Printf.sprintf "%d:%d:%d" pt.Ptp.Converge.n
+                 pt.Ptp.Converge.quotient_size
+                 (List.length pt.Ptp.Converge.gained))
+             trace.Ptp.Converge.points) );
+    ( "pipeline-x2/ex7",
+      false,
+      fun hc ->
+        let params = ex21_params hc in
+        let last = ref "" in
+        for _ = 1 to 2 do
+          last :=
+            ex21_pipeline_sig
+              (Finitemodel.Pipeline.construct ~params ex7.Zoo.theory
+                 (Zoo.database_instance ex7) ex7.Zoo.query)
+        done;
+        !last );
+  ]
+
+let ex21_measure () =
+  List.map
+    (fun (name, gate_hits, run) ->
+      let arm hc =
+        Hom.Hc.reset ();
+        let before = Obs.Metrics.snapshot () in
+        let v, t = time_it (fun () -> run hc) in
+        let delta =
+          Obs.Metrics.ints_delta ~before ~after:(Obs.Metrics.snapshot ())
+        in
+        let d k = Option.value (List.assoc_opt k delta) ~default:0 in
+        (v, t, d)
+      in
+      let vs, ts, _ = arm Hom.Hc.Structural in
+      let vi, ti, d = arm Hom.Hc.Interned in
+      let atoms, cqs = Hom.Hc.store_size () in
+      {
+        h_workload = name;
+        h_gate_hits = gate_hits;
+        h_verdict_structural = vs;
+        h_verdict_interned = vi;
+        h_memo_lookups = d "containment.memo_lookups";
+        h_memo_hits = d "containment.memo_hits";
+        h_eval_lookups = d "hc.eval_memo_lookups";
+        h_eval_hits = d "hc.eval_memo_hits";
+        h_store_nodes = atoms + cqs;
+        h_wall_structural_s = ts;
+        h_wall_interned_s = ti;
+      })
+    (ex21_workloads ())
+
+(* Combined rate over both caches: the depth-sweep claim is about how
+   much repeated containment/evaluation work the caches absorb. *)
+let ex21_hit_rate row =
+  let lookups = row.h_memo_lookups + row.h_eval_lookups in
+  let hits = row.h_memo_hits + row.h_eval_hits in
+  if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+
+let ex21_speedup row =
+  if row.h_wall_interned_s > 0.0 then
+    row.h_wall_structural_s /. row.h_wall_interned_s
+  else Float.infinity
+
+let ex21_table rows =
+  header "EX-21: hash-consed containment (interned vs structural)";
+  Fmt.pr "%-24s %-18s %-13s %-13s %-6s %-6s %-10s %-10s %s@." "workload"
+    "verdict" "memo" "eval-memo" "rate" "nodes" "struct(s)" "intern(s)"
+    "speedup";
+  List.iter
+    (fun row ->
+      Fmt.pr "%-24s %-18s %5d/%-7d %5d/%-7d %-6.2f %-6d %-10.3f %-10.3f \
+              %.2fx@."
+        row.h_workload row.h_verdict_interned row.h_memo_hits
+        row.h_memo_lookups row.h_eval_hits row.h_eval_lookups
+        (ex21_hit_rate row) row.h_store_nodes row.h_wall_structural_s
+        row.h_wall_interned_s (ex21_speedup row))
+    rows
+
+let ex21_structural rows =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  List.iter
+    (fun row ->
+      if row.h_verdict_structural <> row.h_verdict_interned then
+        fail "bench09 gate: %s verdicts diverge (%s vs %s)@." row.h_workload
+          row.h_verdict_structural row.h_verdict_interned;
+      if row.h_memo_lookups + row.h_eval_lookups = 0 then
+        fail "bench09 gate: %s never consulted the caches@." row.h_workload;
+      if row.h_gate_hits && ex21_hit_rate row <= 0.5 then
+        fail "bench09 gate: %s memo hit rate %.2f (want > 0.5)@."
+          row.h_workload (ex21_hit_rate row))
+    rows;
+  if not (List.exists (fun row -> ex21_speedup row >= 1.5) rows) then
+    fail "bench09 gate: no workload reached a 1.5x interned speedup@.";
+  !failures
+
+(* BENCH_09.json: one row object per workload.  The memo counters and
+   verdicts are deterministic; --bench09-check gates them (counts
+   within 10%, rates within 10% relative, verdicts exactly); wall
+   times are context, never gated. *)
+let ex21_blob rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiment\":\"EX-21\",\"rows\":[\n";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"workload\":\"%s\",\"verdict\":\"%s\",\"memo_lookups\":%d,\
+            \"memo_hits\":%d,\"eval_lookups\":%d,\"eval_hits\":%d,\
+            \"hit_rate\":%.4f,\"store_nodes\":%d,\"wall_structural_s\":%.6f,\
+            \"wall_interned_s\":%.6f,\"speedup\":%.2f}"
+           row.h_workload row.h_verdict_interned row.h_memo_lookups
+           row.h_memo_hits row.h_eval_lookups row.h_eval_hits
+           (ex21_hit_rate row) row.h_store_nodes row.h_wall_structural_s
+           row.h_wall_interned_s (ex21_speedup row)))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let ex21_write_blob rows path =
+  let oc = open_out path in
+  output_string oc (ex21_blob rows);
+  close_out oc;
+  Fmt.pr "wrote EX-21 blob to %s@." path
+
+let ex21_read_blob path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let field name =
+         let tag = Printf.sprintf "\"%s\":" name in
+         let tlen = String.length tag and llen = String.length line in
+         let rec find from =
+           if from + tlen > llen then None
+           else if String.sub line from tlen = tag then Some (from + tlen)
+           else find (from + 1)
+         in
+         match find 0 with
+         | None -> None
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < llen
+               && (match line.[!stop] with
+                  | '0' .. '9' | '"' | '/' | 'a' .. 'z' | '+' | '-' | '_'
+                  | ':' | '.' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             Some (String.sub line start (!stop - start))
+       in
+       match
+         ( field "workload", field "verdict", field "memo_lookups",
+           field "memo_hits", field "eval_lookups", field "eval_hits" )
+       with
+       | Some w, Some v, Some ml, Some mh, Some el, Some eh ->
+           let unquote s = String.concat "" (String.split_on_char '"' s) in
+           rows :=
+             ( unquote w, unquote v, int_of_string ml, int_of_string mh,
+               int_of_string el, int_of_string eh )
+             :: !rows
+       | _ -> ()
+     done
+   with
+  | End_of_file -> close_in ic
+  | e -> close_in ic; raise e);
+  List.rev !rows
+
+let ex21_check rows path =
+  let failures = ref 0 in
+  let fail fmt = incr failures; Fmt.pr fmt in
+  (match ex21_read_blob path with
+  | exception Sys_error msg -> fail "bench09 gate: %s@." msg
+  | blob ->
+      List.iter
+        (fun row ->
+          match
+            List.find_opt (fun (w, _, _, _, _, _) -> w = row.h_workload) blob
+          with
+          | None ->
+              fail "bench09 gate: %s missing from %s@." row.h_workload path
+          | Some (_, v, ml, mh, el, eh) ->
+              if v <> row.h_verdict_interned then
+                fail "bench09 gate: %s verdict %s diverges from committed %s@."
+                  row.h_workload row.h_verdict_interned v;
+              let drifted now committed =
+                committed > 0
+                && (float_of_int now > 1.1 *. float_of_int committed
+                   || float_of_int now < 0.9 *. float_of_int committed)
+              in
+              List.iter
+                (fun (what, now, committed) ->
+                  if drifted now committed then
+                    fail
+                      "bench09 gate: %s %s %d drifts >10%% vs committed %d@."
+                      row.h_workload what now committed)
+                [ ("memo lookups", row.h_memo_lookups, ml);
+                  ("memo hits", row.h_memo_hits, mh);
+                  ("eval lookups", row.h_eval_lookups, el);
+                  ("eval hits", row.h_eval_hits, eh) ];
+              let committed_rate =
+                if ml + el = 0 then 0.0
+                else float_of_int (mh + eh) /. float_of_int (ml + el)
+              in
+              if ex21_hit_rate row < 0.9 *. committed_rate then
+                fail
+                  "bench09 gate: %s hit rate %.3f regresses >10%% vs \
+                   committed %.3f@."
+                  row.h_workload (ex21_hit_rate row) committed_rate)
+        rows);
+  !failures
+
+let run_ex21 () =
+  let rows = ex21_measure () in
+  ex21_table rows;
+  if !bench09_out <> "" then ex21_write_blob rows !bench09_out;
+  let failures =
+    ex21_structural rows
+    + if !bench09_check <> "" then ex21_check rows !bench09_check else 0
+  in
+  if failures = 0 then begin
+    Fmt.pr
+      "bench09 gate: interned verdicts, memo hit rates and speedup hold@.";
+    0
+  end
+  else 1
+
 let () =
   parse_args ();
   if !smoke_only then exit (strategy_smoke ());
@@ -2222,6 +2655,7 @@ let () =
     let gate = run_ex20 () in
     exit (max smoke gate)
   end;
+  if !hc_smoke_only then exit (run_ex21 ());
   let t0 = Unix.gettimeofday () in
   ex1_pipeline ();
   ex34_conservativity ();

@@ -209,6 +209,19 @@ let eval_term =
               per-rule query plans, the default) or $(b,interp) (the \
               reference interpreter; differential oracle).")
 
+(* Subcommands that reach CQ containment (rewrite, classify, model,
+   judge, zoo, serve) accept --hc so the hash-consed store and memo
+   caches can be A/B'd against the uncached structural oracle; verdicts
+   and stdout are byte-identical across modes. *)
+let hc_term =
+  Arg.(
+    value
+    & opt (enum [ ("interned", Hom.Hc.Interned);
+                  ("structural", Hom.Hc.Structural) ])
+        (Hom.Hc.default_mode ())
+    & info [ "hc" ] ~docv:"MODE"
+        ~doc:"Containment backend: $(b,interned) (hash-consed canonical               queries with an (id, id) verdict memo, the default) or               $(b,structural) (the uncached structural code;               differential oracle).")
+
 (* Commands that run the pipeline accept --no-preflight so the
    acyclicity-based fuel-free chase can be ablated (and its verdict
    upgrades regression-tested). *)
@@ -402,8 +415,8 @@ let rewrite_cmd =
   let max_disjuncts =
     Arg.(value & opt int 200 & info [ "max-disjuncts" ] ~doc:"Disjunct budget.")
   in
-  let run file max_disjuncts (_ : Chase.Chase.strategy) eval budget obs verbose
-      =
+  let run file max_disjuncts (_ : Chase.Chase.strategy) eval hc budget obs
+      verbose =
     setup_logs verbose;
     with_obs ~cmd:"rewrite" obs @@ fun () ->
     with_program file @@ fun (theory, _, queries, _) ->
@@ -412,7 +425,7 @@ let rewrite_cmd =
     List.iter
       (fun q ->
         let r =
-          Rewriting.Rewrite.rewrite ?budget ~eval ~max_disjuncts theory q
+          Rewriting.Rewrite.rewrite ?budget ~eval ~hc ~max_disjuncts theory q
         in
         if not r.Rewriting.Rewrite.complete then all_complete := false;
         Fmt.pr "@[<v>query: %a@,complete (BDD for this query): %b@,%a@,@]"
@@ -427,19 +440,19 @@ let rewrite_cmd =
        ~exits)
     Term.(
       const run $ file_arg $ max_disjuncts $ strategy_term $ eval_term
-      $ budget_term $ obs_term $ verbose_arg)
+      $ hc_term $ budget_term $ obs_term $ verbose_arg)
 
 (* ---------------------------- classify --------------------------- *)
 
 let classify_cmd =
-  let run file (_ : Chase.Chase.strategy) eval budget obs verbose =
+  let run file (_ : Chase.Chase.strategy) eval hc budget obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"classify" obs @@ fun () ->
     with_program file @@ fun (theory, _, _, _) ->
     Fmt.pr "%a@." Classes.Recognize.pp_report (Classes.Recognize.report theory);
     let k =
-      Rewriting.Rewrite.kappa ?budget ~eval ~max_disjuncts:100 ~max_steps:2000
-        theory
+      Rewriting.Rewrite.kappa ?budget ~eval ~hc ~max_disjuncts:100
+        ~max_steps:2000 theory
     in
     Fmt.pr "kappa: %d (rewritings complete: %b)@." k.Rewriting.Rewrite.kappa
       k.Rewriting.Rewrite.all_complete;
@@ -447,8 +460,8 @@ let classify_cmd =
   in
   Cmd.v (Cmd.info "classify" ~doc:"Print the class report of a theory." ~exits)
     Term.(
-      const run $ file_arg $ strategy_term $ eval_term $ budget_term $ obs_term
-      $ verbose_arg)
+      const run $ file_arg $ strategy_term $ eval_term $ hc_term $ budget_term
+      $ obs_term $ verbose_arg)
 
 (* ------------------------------ lint ------------------------------ *)
 
@@ -544,7 +557,7 @@ let model_cmd =
   let depth =
     Arg.(value & opt int 24 & info [ "depth" ] ~doc:"Chase prefix depth.")
   in
-  let run file depth strategy eval budget no_preflight slice obs verbose =
+  let run file depth strategy eval hc budget no_preflight slice obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"model" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -559,6 +572,7 @@ let model_cmd =
             budget;
             strategy;
             eval;
+            hc;
             preflight = not no_preflight;
             slice;
           }
@@ -592,13 +606,13 @@ let model_cmd =
           rules avoiding the query."
        ~exits)
     Term.(
-      const run $ file_arg $ depth $ strategy_term $ eval_term $ budget_term
-      $ no_preflight_term $ slice_term $ obs_term $ verbose_arg)
+      const run $ file_arg $ depth $ strategy_term $ eval_term $ hc_term
+      $ budget_term $ no_preflight_term $ slice_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- judge ----------------------------- *)
 
 let judge_cmd =
-  let run file strategy eval budget no_preflight slice obs verbose =
+  let run file strategy eval hc budget no_preflight slice obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"judge" obs @@ fun () ->
     with_program file @@ fun (theory, db, queries, _) ->
@@ -614,6 +628,7 @@ let judge_cmd =
                 budget;
                 strategy;
                 eval;
+                hc;
                 preflight = not no_preflight;
                 slice;
               };
@@ -637,7 +652,7 @@ let judge_cmd =
           the file's (rules, facts, query) triple."
        ~exits)
     Term.(
-      const run $ file_arg $ strategy_term $ eval_term $ budget_term
+      const run $ file_arg $ strategy_term $ eval_term $ hc_term $ budget_term
       $ no_preflight_term $ slice_term $ obs_term $ verbose_arg)
 
 (* ------------------------------ dot ------------------------------ *)
@@ -684,7 +699,7 @@ let zoo_cmd =
            ~doc:"Print the entry as a parseable program and exit; feed the \
                  result back through $(b,bddfc lint) or $(b,bddfc model).")
   in
-  let run name dump strategy eval budget no_preflight obs verbose =
+  let run name dump strategy eval hc budget no_preflight obs verbose =
     setup_logs verbose;
     with_obs ~cmd:"zoo" obs @@ fun () ->
     match name with
@@ -719,6 +734,7 @@ let zoo_cmd =
                 budget;
                 strategy;
                 eval;
+                hc;
                 preflight = not no_preflight;
               }
             in
@@ -741,8 +757,8 @@ let zoo_cmd =
   in
   Cmd.v (Cmd.info "zoo" ~doc:"The paper's example zoo." ~exits)
     Term.(
-      const run $ entry_name $ dump $ strategy_term $ eval_term $ budget_term
-      $ no_preflight_term $ obs_term $ verbose_arg)
+      const run $ entry_name $ dump $ strategy_term $ eval_term $ hc_term
+      $ budget_term $ no_preflight_term $ obs_term $ verbose_arg)
 
 (* ----------------------------- serve ------------------------------ *)
 
@@ -780,7 +796,8 @@ let serve_cmd =
                 answer $(b,fault_injected) and evict their session; the \
                 server itself must survive.")
   in
-  let run socket max_inflight rounds domains timeout fuel inject obs verbose =
+  let run socket max_inflight rounds domains hc timeout fuel inject obs
+      verbose =
     setup_logs verbose;
     with_obs ~cmd:"serve" obs @@ fun () ->
     let strategy =
@@ -797,6 +814,7 @@ let serve_cmd =
         chase_rounds = rounds;
         faults = Option.map (fun seed -> Serve.Faults.seeded ~seed) inject;
         strategy;
+        hc;
       }
     in
     let t = Serve.Server.create ~config () in
@@ -839,8 +857,8 @@ let serve_cmd =
           bounded in-flight admission."
        ~exits)
     Term.(
-      const run $ socket $ max_inflight $ rounds $ domains_term $ timeout
-      $ fuel $ inject $ obs_term $ verbose_arg)
+      const run $ socket $ max_inflight $ rounds $ domains_term $ hc_term
+      $ timeout $ fuel $ inject $ obs_term $ verbose_arg)
 
 let main =
   let info =

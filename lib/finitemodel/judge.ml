@@ -69,6 +69,7 @@ let judge ?(budget = default_budget) theory db query =
     if Theory.all_single_head theory then
       Rewriting.Rewrite.kappa ?budget:governor
         ~eval:budget.pipeline_params.Pipeline.eval
+        ~hc:budget.pipeline_params.Pipeline.hc
         ~max_disjuncts:budget.pipeline_params.Pipeline.rewrite_max_disjuncts
         ~max_steps:budget.pipeline_params.Pipeline.rewrite_max_steps theory
     else

@@ -43,6 +43,10 @@ type params = {
   budget : Budget.t option; (* governor shared by every stage *)
   strategy : Chase.strategy; (* evaluation strategy for every chase *)
   eval : Eval.engine; (* join engine for every evaluation stage *)
+  hc : Hc.mode;
+      (* containment backend for kappa and the quotient checks: Interned
+         (the default) goes through the hash-consed store and memo
+         caches, Structural is the uncached differential oracle *)
   preflight : bool;
       (* before the truncated schedule, test the normalized theory for
          weak/joint acyclicity; a positive proof lets the chase run
@@ -72,6 +76,7 @@ let default_params =
     budget = None;
     strategy = Chase.default_strategy ();
     eval = Eval.Compiled;
+    hc = Hc.default_mode ();
     preflight = true;
     slice = false;
   }
@@ -336,7 +341,7 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
         in
         (* -------- step 5: kappa and coloring -------- *)
         let kap =
-          Rewrite.kappa ?budget ~eval:params.eval
+          Rewrite.kappa ?budget ~eval:params.eval ~hc:params.hc
             ~max_disjuncts:params.rewrite_max_disjuncts
             ~max_steps:params.rewrite_max_steps t2
         in
@@ -392,8 +397,12 @@ and construct_at ~params ~budget ~hidden ~t2 ?(terminating = false) theory
           else if
             Instance.facts_with_pred m1 hidden.Normalize.query_pred <> []
           then fail "hidden predicate derived after saturation"
-          else if Eval.holds ~engine:params.eval m1 query then
-            fail "query satisfied in quotient"
+          else if
+            (match params.hc with
+            | Hc.Structural -> Eval.holds ~engine:params.eval m1 query
+            | Hc.Interned ->
+                Hc.holds_memo ~engine:params.eval m1 ~init:[] query)
+          then fail "query satisfied in quotient"
           else begin
             match Model_check.violations ~limit:1 ~eval:params.eval t2 m1 with
             | _ :: _ -> fail "existential rule unsatisfied (Lemma 5 failed)"

@@ -32,6 +32,11 @@ type params = {
       (** evaluation strategy for every chase stage (default [Seminaive]) *)
   eval : Bddfc_hom.Eval.engine;
       (** join engine for every evaluation stage (default [Compiled]) *)
+  hc : Bddfc_hom.Hc.mode;
+      (** containment backend for kappa and the quotient checks (default
+          {!Bddfc_hom.Hc.default_mode}): [Interned] goes through the
+          hash-consed store and memo caches, [Structural] is the
+          uncached differential oracle *)
   preflight : bool;
       (** test the normalized theory for weak/joint acyclicity first
           (default [true]): a positive proof lets the chase run fuel-free

@@ -3,7 +3,15 @@
    [q1] is contained in [q2] (every answer of q1 is an answer of q2, over
    all instances) iff there is a homomorphism from q2 into the frozen body
    of q1 mapping answer variables of q2 to the frozen answer variables of
-   q1 in order. *)
+   q1 in order.
+
+   Two modes (Hc.mode, default Interned): the structural path below is
+   the original code, kept verbatim as the differential oracle; the
+   interned path routes each (general, specific) pair through the Hc
+   unique table and replays cached verdicts by id.  Containment is
+   invariant under α-renaming of either query, so verdicts computed on
+   the canonical representatives are correct for every α-variant pair
+   hitting the same ids. *)
 
 open Bddfc_logic
 open Bddfc_structure
@@ -13,10 +21,53 @@ let frozen_instance (q : Cq.t) =
   let inst = Instance.of_atoms atoms in
   (inst, frz)
 
-(* [subsumes ~general ~specific]: does [general] hold whenever [specific]
-   does (i.e. specific is contained in general)?  Both must have the same
-   answer arity. *)
-let subsumes ?engine ~(general : Cq.t) (specific : Cq.t) =
+(* The structural decision, witness included: a satisfying binding of
+   [general]'s body over the frozen instance of [specific], read back as
+   a substitution into [specific]'s terms (frozen constants thawed to
+   the variables they froze). *)
+let subsumes_core ?engine ~(general : Cq.t) (specific : Cq.t) =
+  if List.length (Cq.answer general) <> List.length (Cq.answer specific)
+  then (false, None)
+  else begin
+    let inst, frz = frozen_instance specific in
+    let init =
+      List.fold_left2
+        (fun acc xg xs ->
+          match Subst.find_opt xs frz with
+          | Some (Term.Cst c) -> (
+              match Instance.const_opt inst c with
+              | Some id -> Smap.add xg id acc
+              | None -> acc)
+          | _ -> acc)
+        Smap.empty (Cq.answer general) (Cq.answer specific)
+    in
+    match Eval.first_solution ~init ?engine inst (Cq.body general) with
+    | None -> (false, None)
+    | Some b ->
+        let thaw = Hashtbl.create 16 in
+        List.iter
+          (fun (x, t) ->
+            match t with
+            | Term.Cst c -> Hashtbl.replace thaw c x
+            | Term.Var _ -> ())
+          (Subst.bindings frz);
+        let w =
+          Smap.fold
+            (fun v id acc ->
+              match Instance.const_name inst id with
+              | Some c -> (
+                  match Hashtbl.find_opt thaw c with
+                  | Some x -> Subst.add v (Term.Var x) acc
+                  | None -> Subst.add v (Term.Cst c) acc)
+              | None -> acc)
+            b Subst.empty
+        in
+        (true, Some w)
+  end
+
+(* The original verdict-only decision, byte for byte: the differential
+   oracle must not even change its evaluation shape. *)
+let subsumes_structural ?engine ~(general : Cq.t) (specific : Cq.t) =
   if List.length (Cq.answer general) <> List.length (Cq.answer specific) then
     false
   else begin
@@ -35,12 +86,62 @@ let subsumes ?engine ~(general : Cq.t) (specific : Cq.t) =
     Eval.satisfiable ~init ?engine inst (Cq.body general)
   end
 
-let equivalent ?engine q1 q2 =
-  subsumes ?engine ~general:q1 q2 && subsumes ?engine ~general:q2 q1
+(* [subsumes ~general ~specific]: does [general] hold whenever [specific]
+   does (i.e. specific is contained in general)?  Both must have the same
+   answer arity. *)
+let subsumes ?engine ?hc ~(general : Cq.t) (specific : Cq.t) =
+  let hc = match hc with Some m -> m | None -> Hc.default_mode () in
+  match hc with
+  | Hc.Structural -> subsumes_structural ?engine ~general specific
+  | Hc.Interned ->
+      let gid = Hc.intern general in
+      let sid = Hc.intern specific in
+      fst
+        (Hc.memo_subsumes ~general:gid ~specific:sid (fun g s ->
+             subsumes_core ?engine ~general:g s))
+
+(* [subsumes], also returning the witness homomorphism (general's
+   variables into specific's terms) when the verdict is positive.  The
+   interned path caches witnesses in the canonical namespaces and
+   translates through the two renamings. *)
+let subsumes_witness ?engine ?hc ~(general : Cq.t) (specific : Cq.t) =
+  let hc = match hc with Some m -> m | None -> Hc.default_mode () in
+  match hc with
+  | Hc.Structural -> subsumes_core ?engine ~general specific
+  | Hc.Interned ->
+      let gid, ren_g = Hc.intern_renamed general in
+      let sid, ren_s = Hc.intern_renamed specific in
+      let verdict, w_canon =
+        Hc.memo_subsumes ~general:gid ~specific:sid (fun g s ->
+            subsumes_core ?engine ~general:g s)
+      in
+      let w =
+        Option.map
+          (fun wc ->
+            let inv_s = List.map (fun (o, c) -> (c, o)) ren_s in
+            List.fold_left
+              (fun acc (xo, xc) ->
+                match Subst.find_opt xc wc with
+                | Some (Term.Var v) ->
+                    let v' =
+                      match List.assoc_opt v inv_s with
+                      | Some o -> o
+                      | None -> v
+                    in
+                    Subst.add xo (Term.Var v') acc
+                | Some (Term.Cst c) -> Subst.add xo (Term.Cst c) acc
+                | None -> acc)
+              Subst.empty ren_g)
+          w_canon
+      in
+      (verdict, w)
+
+let equivalent ?engine ?hc q1 q2 =
+  subsumes ?engine ?hc ~general:q1 q2 && subsumes ?engine ?hc ~general:q2 q1
 
 (* Core (minimization) of a CQ: remove atoms whose deletion preserves
    equivalence.  The result is homomorphically equivalent to the input. *)
-let minimize ?engine (q : Cq.t) =
+let minimize ?engine ?hc (q : Cq.t) =
   let removable body a =
     let body' = List.filter (fun x -> x != a) body in
     if body' = [] then false
@@ -51,7 +152,7 @@ let minimize ?engine (q : Cq.t) =
           (Cq.answer q)
       in
       keep_answers
-      && subsumes ?engine ~general:q (Cq.make ~answer:(Cq.answer q) body')
+      && subsumes ?engine ?hc ~general:q (Cq.make ~answer:(Cq.answer q) body')
   in
   let rec go body =
     match List.find_opt (removable body) body with
@@ -61,13 +162,13 @@ let minimize ?engine (q : Cq.t) =
   Cq.make ~answer:(Cq.answer q) (go (Cq.body q))
 
 (* UCQ-level subsumption pruning: keep only maximal disjuncts. *)
-let prune_ucq ?engine (qs : Cq.t list) =
+let prune_ucq ?engine ?hc (qs : Cq.t list) =
   let rec go kept = function
     | [] -> List.rev kept
     | q :: rest ->
         let dominated =
-          List.exists (fun q' -> subsumes ?engine ~general:q' q) kept
-          || List.exists (fun q' -> subsumes ?engine ~general:q' q) rest
+          List.exists (fun q' -> subsumes ?engine ?hc ~general:q' q) kept
+          || List.exists (fun q' -> subsumes ?engine ?hc ~general:q' q) rest
         in
         if dominated then go kept rest else go (q :: kept) rest
   in

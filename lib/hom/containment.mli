@@ -1,4 +1,10 @@
-(** Conjunctive-query containment via canonical (frozen) instances. *)
+(** Conjunctive-query containment via canonical (frozen) instances.
+
+    Every decision takes an [?hc] switch ({!Hc.mode}, default
+    {!Hc.default_mode}): [Interned] routes the pair through the
+    hash-consed unique table and the [(id, id)] verdict memo, [Structural]
+    is the original uncached code — the differential oracle the fuzzing
+    battery compares against. *)
 
 open Bddfc_logic
 open Bddfc_structure
@@ -7,16 +13,27 @@ val frozen_instance : Cq.t -> Instance.t * Subst.t
 (** The canonical instance of a query: variables frozen into fresh
     constants.  The substitution records the freezing. *)
 
-val subsumes : ?engine:Eval.engine -> general:Cq.t -> Cq.t -> bool
+val subsumes :
+  ?engine:Eval.engine -> ?hc:Hc.mode -> general:Cq.t -> Cq.t -> bool
 (** [subsumes ~general specific]: whenever [specific] holds, so does
     [general] — i.e. [specific] is contained in [general].  Answer arities
     must match; answer variables correspond positionally. *)
 
-val equivalent : ?engine:Eval.engine -> Cq.t -> Cq.t -> bool
+val subsumes_witness :
+  ?engine:Eval.engine -> ?hc:Hc.mode -> general:Cq.t -> Cq.t ->
+  bool * Subst.t option
+(** {!subsumes}, plus the witness homomorphism on a positive verdict:
+    a substitution of [general]'s variables by terms of [specific] such
+    that every atom of [general]'s body lands in [specific]'s body (and
+    answer variables correspond positionally).  The interned path caches
+    witnesses by id pair and translates them back through the canonical
+    renamings. *)
 
-val minimize : ?engine:Eval.engine -> Cq.t -> Cq.t
+val equivalent : ?engine:Eval.engine -> ?hc:Hc.mode -> Cq.t -> Cq.t -> bool
+
+val minimize : ?engine:Eval.engine -> ?hc:Hc.mode -> Cq.t -> Cq.t
 (** Remove redundant atoms; the result is equivalent to the input (the
     query core up to atom deletion). *)
 
-val prune_ucq : ?engine:Eval.engine -> Cq.t list -> Cq.t list
+val prune_ucq : ?engine:Eval.engine -> ?hc:Hc.mode -> Cq.t list -> Cq.t list
 (** Drop disjuncts contained in another disjunct. *)

@@ -14,6 +14,7 @@ open Bddfc_structure
 
 val ptp_leq :
   ?engine:Eval.engine ->
+  ?hc:Hc.mode ->
   vars:int ->
   Instance.t -> Element.id option ->
   Instance.t -> Element.id option -> bool
@@ -23,14 +24,16 @@ val ptp_leq :
     @raise Invalid_argument if exactly one side is anchored. *)
 
 val ptp_equal :
-  ?engine:Eval.engine ->
+  ?engine:Eval.engine -> ?hc:Hc.mode ->
   vars:int -> Instance.t -> Element.id -> Instance.t -> Element.id -> bool
 
 val equiv :
-  ?engine:Eval.engine -> vars:int -> Instance.t -> Element.id ->
-  Element.id -> bool
+  ?engine:Eval.engine -> ?hc:Hc.mode -> vars:int -> Instance.t ->
+  Element.id -> Element.id -> bool
 (** Definition 4: the equivalence [d ~n e] within one structure. *)
 
-val classes : ?engine:Eval.engine -> vars:int -> Instance.t -> int array * int
+val classes :
+  ?engine:Eval.engine -> ?hc:Hc.mode -> vars:int -> Instance.t ->
+  int array * int
 (** The full partition of a small structure under {!equiv}: class index
     per element, and the number of classes. *)

@@ -20,8 +20,12 @@ type trace = {
 }
 
 val sequence :
-  ?mode:Refine.mode -> ?eval:Bddfc_hom.Eval.engine -> max_n:int ->
+  ?mode:Refine.mode -> ?eval:Bddfc_hom.Eval.engine ->
+  ?hc:Bddfc_hom.Hc.mode -> max_n:int ->
   Coloring.t -> (Cq.t * string) list -> trace
+(** [?hc] memoizes the per-point gain evaluations through the
+    hash-consed store (the base structure is fixed across the whole
+    trace); [Structural] is the original uncached path. *)
 
 val persistent : trace -> (Cq.t * string) list
 (** Queries gained at every depth of the trace. *)

@@ -68,7 +68,7 @@ let _var_count (q : Cq.t) =
   in
   Cq.num_vars q + Cq.SS.cardinal frozen
 
-let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
+let rewrite ?budget ?eval ?hc ?(max_disjuncts = 400) ?(max_steps = 20_000)
     ?(max_piece = 5) ?(max_disjunct_vars = 16) theory (q : Cq.t) =
   let budget =
     match budget with
@@ -86,7 +86,7 @@ let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
       "Rewrite.rewrite: multi-head rules present; apply \
        Bddfc_classes.Multihead.to_single_head first";
   let answer = Cq.answer q in
-  let q0 = Containment.minimize ?engine:eval (freeze_answers q) in
+  let q0 = Containment.minimize ?engine:eval ?hc (freeze_answers q) in
   let kept = ref [ q0 ] in
   let queue = Queue.create () in
   Queue.add q0 queue;
@@ -106,7 +106,7 @@ let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
                  incr generated;
                  Obs.Metrics.incr m_steps;
                  Budget.charge budget Budget.Rewrite_steps 1;
-                 let q' = Containment.minimize ?engine:eval q' in
+                 let q' = Containment.minimize ?engine:eval ?hc q' in
                  if _var_count q' > max_disjunct_vars then
                    (* a disjunct this wide signals divergence; dropping it
                       keeps the result a sound under-approximation *)
@@ -115,7 +115,7 @@ let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
                  let subsumed =
                    List.exists
                      (fun k ->
-                       Containment.subsumes ?engine:eval ~general:k q')
+                       Containment.subsumes ?engine:eval ?hc ~general:k q')
                      !kept
                  in
                  if not subsumed then begin
@@ -125,7 +125,7 @@ let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
                      :: List.filter
                           (fun k ->
                             not
-                              (Containment.subsumes ?engine:eval
+                              (Containment.subsumes ?engine:eval ?hc
                                  ~general:q' k))
                           !kept;
                    if List.length !kept > max_disjuncts then begin
@@ -161,9 +161,9 @@ let rewrite ?budget ?eval ?(max_disjuncts = 400) ?(max_steps = 20_000)
 
 (* Is the theory BDD for this query (within the budget)?  [Some r] with
    [r.complete = true] certifies yes; [r.complete = false] means unknown. *)
-let bdd_for_query ?budget ?eval ?max_disjuncts ?max_steps ?max_piece
+let bdd_for_query ?budget ?eval ?hc ?max_disjuncts ?max_steps ?max_piece
     ?max_disjunct_vars theory q =
-  rewrite ?budget ?eval ?max_disjuncts ?max_steps ?max_piece
+  rewrite ?budget ?eval ?hc ?max_disjuncts ?max_steps ?max_piece
     ?max_disjunct_vars theory q
 
 (* Evaluate a UCQ rewriting over an instance (Boolean). *)
@@ -182,7 +182,7 @@ type kappa_result = {
   tripped : Budget.resource option; (* first resource that stopped a rule *)
 }
 
-let kappa ?budget ?eval ?max_disjuncts ?max_steps ?max_piece
+let kappa ?budget ?eval ?hc ?max_disjuncts ?max_steps ?max_piece
     ?max_disjunct_vars theory =
   Obs.Trace.span "rewrite.kappa" @@ fun () ->
   let tripped = ref None in
@@ -191,7 +191,7 @@ let kappa ?budget ?eval ?max_disjuncts ?max_steps ?max_piece
       (fun rule ->
         let body_q = Rule.body_query rule in
         let r =
-          rewrite ?budget ?eval ?max_disjuncts ?max_steps ?max_piece
+          rewrite ?budget ?eval ?hc ?max_disjuncts ?max_steps ?max_piece
             ?max_disjunct_vars theory body_q
         in
         if !tripped = None then tripped := r.tripped;

@@ -13,6 +13,7 @@ module Json = Obs.Json
 module Budget = Bddfc_budget.Budget
 module Chase = Bddfc_chase.Chase
 module Eval = Bddfc_hom.Eval
+module Hc = Bddfc_hom.Hc
 module Judge = Bddfc_finitemodel.Judge
 module Pipeline = Bddfc_finitemodel.Pipeline
 module Certificate = Bddfc_finitemodel.Certificate
@@ -42,6 +43,9 @@ type config = {
       (* chase strategy for every request; [Parallel n] reuses one warm
          domain pool across requests.  Results are bit-identical to
          [Seminaive] regardless, so --domains never changes replies. *)
+  hc : Hc.mode;
+      (* containment backend for every request; verdicts are identical
+         across modes, so --hc never changes replies either *)
 }
 
 let default_config =
@@ -53,6 +57,7 @@ let default_config =
     max_line_bytes = 1 lsl 20;
     faults = None;
     strategy = Chase.default_strategy ();
+    hc = Hc.default_mode ();
   }
 
 type t = {
@@ -295,6 +300,7 @@ let dispatch t ~fault (r : Protocol.request) =
               { Pipeline.default_params with
                 budget = Some b;
                 strategy = t.config.strategy;
+                hc = t.config.hc;
                 slice = Dataflow.is_proper sl;
               };
           }
@@ -313,6 +319,7 @@ let dispatch t ~fault (r : Protocol.request) =
           { Pipeline.default_params with
             budget = Some b;
             strategy = t.config.strategy;
+            hc = t.config.hc;
           }
         in
         (* consume the memoized slice directly: a certain verdict needs

@@ -41,11 +41,15 @@ type config = {
   strategy : Bddfc_chase.Chase.strategy;
       (** chase strategy for every request ([--domains] on the CLI);
           replies are bit-identical across strategies *)
+  hc : Bddfc_hom.Hc.mode;
+      (** containment backend for every request ([--hc] on the CLI);
+          replies are bit-identical across modes *)
 }
 
 val default_config : config
 (** No deadline, no fuel, 64 in-flight, 16 chase rounds, 1 MiB lines,
-    no faults, {!Bddfc_chase.Chase.default_strategy}. *)
+    no faults, {!Bddfc_chase.Chase.default_strategy},
+    {!Bddfc_hom.Hc.default_mode}. *)
 
 type t
 

@@ -54,7 +54,9 @@ val warm : store -> entry -> warm
 (** The resident state, rebuilding from source after an eviction. *)
 
 val evict : store -> string -> bool
-(** Drop the warm state; [true] if there was any to drop. *)
+(** Drop the warm state; [true] if there was any to drop.  Also resets
+    the process-global hash-cons store ({!Bddfc_hom.Hc.reset}), so a
+    rebuilt session re-interns from empty. *)
 
 val count : store -> int
 (** Resident (non-evicted) sessions. *)

@@ -52,7 +52,16 @@ let lower_bound a n x =
   done;
   !lo
 
+(* Every instance carries a process-unique creation token plus a mutation
+   counter: together they give memo layers (Bddfc_hom.Hc) a sound cache
+   key for "this exact structure in this exact state" without hashing the
+   fact set.  The token supply is atomic so instances created on worker
+   domains can never alias. *)
+let token_supply = Atomic.make 0
+
 type t = {
+  token : int; (* process-unique creation stamp *)
+  mutable version : int; (* bumped on every element/fact mutation *)
   mutable next_id : int;
   mutable infos : Element.info array; (* id -> info, grown on demand *)
   const_ids : (string, Element.id) Hashtbl.t;
@@ -69,6 +78,8 @@ type t = {
 
 let create ?(capacity = 64) () =
   {
+    token = Atomic.fetch_and_add token_supply 1;
+    version = 0;
     next_id = 0;
     infos = Array.make (max capacity 1) (Element.Const "");
     const_ids = Hashtbl.create 16;
@@ -91,8 +102,12 @@ let ensure_capacity inst id =
     inst.infos <- infos
   end
 
+let token inst = inst.token
+let version inst = inst.version
+
 let alloc inst info =
   let id = inst.next_id in
+  inst.version <- inst.version + 1;
   inst.next_id <- id + 1;
   ensure_capacity inst id;
   inst.infos.(id) <- info;
@@ -140,6 +155,7 @@ let add_fact ?(birth = 0) inst f =
           invalid_arg "Instance.add_fact: unknown element id")
       (Fact.args f);
     Fact.Table.replace inst.fact_set f ();
+    inst.version <- inst.version + 1;
     inst.fact_list <- f :: inst.fact_list;
     inst.n_facts <- inst.n_facts + 1;
     inst.preds <- Pred.Set.add (Fact.pred f) inst.preds;
@@ -171,6 +187,7 @@ let max_fact_birth inst = inst.max_fact_birth
 
 let reset_fact_births inst =
   Fact.Table.reset inst.fact_birth;
+  inst.version <- inst.version + 1;
   inst.max_fact_birth <- 0;
   inst.birth_monotone <- true
 

@@ -35,11 +35,22 @@ dune exec test/main.exe -- test serve
 # random theories, chaos scheduling inertness, fuel-trap determinism
 dune exec test/main.exe -- test parallel
 
+# the hash-consing differential suite, explicitly: unique-table
+# properties, the containment fuzzing battery, memo-coherence replay,
+# obs reconciliation and the serve eviction no-drift check
+dune exec test/main.exe -- test hc
+
 # the multi-domain lane: the whole tier-1 suite again with every
 # defaulted chase strategy forced to Parallel 4 (the env hook behind
 # Chase.default_strategy), so each suite doubles as a differential
 # oracle against its own sequential run above
 BDDFC_TEST_DOMAINS=4 dune runtest --force
+
+# the structural-containment lane: the whole tier-1 suite again with
+# the hash-consed store switched off (every defaulted --hc forced to
+# structural), so each suite doubles as a differential oracle for the
+# interned run above
+BDDFC_TEST_HC=structural dune runtest --force
 
 # the CLI cram suite (exit codes, diagnostics, --strategy acceptance)
 dune build @test/cli/runtest
@@ -76,6 +87,14 @@ dune exec bench/main.exe -- --parallel-smoke --bench07-check BENCH_07.json
 # and the probe counts must stay within 10% of the committed EX-20
 # blob.  Wall times are reported, never gated.
 dune exec bench/main.exe -- --analyze-smoke --bench08-check BENCH_08.json
+
+# the hash-consing smoke (EX-21): every workload must produce
+# byte-identical verdicts under the interned and structural containment
+# backends; the depth-sweep rows must keep their >50% memo hit rate and
+# the counters must stay within 10% of the committed EX-21 blob; at
+# least one workload must show a >= 1.5x interned speedup (both arms
+# run in the same process).  Absolute wall times are never gated.
+dune exec bench/main.exe -- --hc-smoke --bench09-check BENCH_09.json
 
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;

@@ -1,0 +1,76 @@
+The --hc flag selects the containment backend on every subcommand that
+decides query containment: interned (the hash-consed store and memo
+caches, the default) or structural (the original uncached code, kept as
+the differential oracle).  Verdicts, output bytes and exit codes must
+not depend on it.
+
+  $ cat > diverging.bddfc <<'EOF'
+  > e(X,Y) -> e(Y,X).
+  > e(X,Y), e(Y,Z) -> e(X,Z).
+  > e(a,b).
+  > ? e(b,a).
+  > EOF
+
+  $ cat > countermodel.bddfc <<'EOF'
+  > e(X,Y) -> e(Y,X).
+  > e(a,b).
+  > ? e(X,X).
+  > EOF
+
+rewrite and classify: byte-identical under both backends.  The
+transitive rule makes this rewriting saturate against its caps, so the
+interned subsumption path must stop at exactly the same step.
+
+  $ bddfc rewrite --hc interned diverging.bddfc > interned.out
+  [4]
+  $ bddfc rewrite --hc structural diverging.bddfc > structural.out
+  [4]
+  $ diff interned.out structural.out
+
+  $ bddfc classify --hc interned diverging.bddfc > interned.out
+  $ bddfc classify --hc structural diverging.bddfc > structural.out
+  $ diff interned.out structural.out
+
+model and judge: same certificate, same verdict, same exit codes.
+
+  $ bddfc model --hc interned countermodel.bddfc > interned.out
+  $ bddfc model --hc structural countermodel.bddfc > structural.out
+  $ diff interned.out structural.out
+  $ head -1 interned.out
+  finite countermodel found (n=0, kappa=0, m=0):
+
+  $ bddfc judge --hc interned countermodel.bddfc > interned.out
+  $ bddfc judge --hc structural countermodel.bddfc > structural.out
+  $ diff interned.out structural.out
+  $ head -1 interned.out
+  verified finite countermodel with 2 elements
+
+zoo sweeps agree too:
+
+  $ bddfc zoo ex1 --hc interned > interned.out
+  $ bddfc zoo ex1 --hc structural > structural.out
+  $ diff interned.out structural.out
+
+--metrics exposes the store and memo counters under the interned
+backend:
+
+  $ bddfc judge --hc interned --metrics=json countermodel.bddfc 2>metrics.json >/dev/null
+  $ grep -c '"hc.lookups"' metrics.json
+  1
+  $ grep -c '"hc.nodes"' metrics.json
+  1
+  $ grep -c '"containment.memo_lookups"' metrics.json
+  1
+
+while the structural oracle never touches them:
+
+  $ bddfc judge --hc structural --metrics=json countermodel.bddfc 2>metrics.json >/dev/null
+  $ grep -o '"hc.lookups":[0-9]*' metrics.json
+  "hc.lookups":0
+  $ grep -o '"containment.memo_lookups":[0-9]*' metrics.json
+  "containment.memo_lookups":0
+
+A bad backend value is a usage error (exit 2):
+
+  $ bddfc judge --hc memoized countermodel.bddfc > /dev/null 2>&1
+  [2]

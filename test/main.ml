@@ -16,6 +16,7 @@ let () =
       Test_provenance.suite;
       Test_budget.suite;
       Test_differential.suite;
+      Test_hc.suite;
       Test_parallel.suite;
       Test_serve.suite;
     ]

@@ -1,0 +1,710 @@
+(* The hash-consed store under adversarial test: the differential
+   fuzzing battery of PR 9.
+
+   The contract has three layers, and each gets its own suite below.
+
+   Unique table: interning is idempotent, structurally-equal and
+   α-equivalent queries share an id, distinct ids imply structurally
+   distinct canonical forms, and source locations never reach the keys
+   (the PR 3 loc-equality invariant, plus the PR 5 full-arity hashing
+   discipline, would both fail silently — as duplicate nodes — if
+   violated; the tests here make them loud).
+
+   Compute caches: every containment / rewriting / ptype / pipeline /
+   judge entry point must be observationally identical under
+   [Hc.Interned] and [Hc.Structural], over the zoo, over seeded random
+   theories and queries, and — the sharp edge — at every deterministic
+   fuel-trap point, since a memo hit that skipped a budget charge would
+   shift trip points between modes.  The memo-coherence replay then
+   re-derives every cached verdict with the fresh structural oracle.
+
+   Observability: hits never exceed lookups, identical workloads from a
+   reset store move the hc counters identically, tracing on/off leaves
+   them inert, and the serve eviction hook resets the store without any
+   verdict drift on the rebuilt session. *)
+
+open Bddfc_budget
+open Bddfc_logic
+open Bddfc_structure
+open Bddfc_chase
+open Bddfc_hom
+open Bddfc_ptp
+open Bddfc_finitemodel
+open Bddfc_workload
+module Rewrite = Bddfc_rewriting.Rewrite
+module Obs = Bddfc_obs.Obs
+module M = Obs.Metrics
+module T = Obs.Trace
+module Json = Obs.Json
+module Server = Bddfc_serve.Server
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let cq = Alcotest.testable Cq.pp Cq.equal
+let th src = Parser.parse_theory src
+let db src = Instance.of_atoms (Parser.parse_atoms src)
+
+(* ----------------------------------------------------------------- *)
+(* A seeded random-CQ generator over the Gen.random_binary_theory     *)
+(* vocabulary, so fuzzed queries exercise the same signature as the   *)
+(* fuzzed theories.                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let binaries = [| "e"; "r"; "f" |]
+let unaries = [| "p"; "q" |]
+let consts = [| "a"; "b"; "c" |]
+let var_pool = [| "X"; "Y"; "Z"; "U"; "V"; "W" |]
+
+let random_term st =
+  if Random.State.int st 4 = 0 then
+    Term.cst consts.(Random.State.int st (Array.length consts))
+  else Term.var var_pool.(Random.State.int st (Array.length var_pool))
+
+let random_atom st =
+  if Random.State.bool st then
+    Atom.app binaries.(Random.State.int st (Array.length binaries))
+      [ random_term st; random_term st ]
+  else Atom.app unaries.(Random.State.int st (Array.length unaries))
+      [ random_term st ]
+
+let random_cq st =
+  let body = List.init (1 + Random.State.int st 7) (fun _ -> random_atom st) in
+  let vars = Cq.SS.elements (Atom.vars_of_atoms body) in
+  let n_ans = Random.State.int st (min 3 (List.length vars) + 1) in
+  let answer = List.filteri (fun i _ -> i < n_ans) vars in
+  Cq.make ~answer body
+
+(* An explicit α-variant: every variable prefixed, order preserved. *)
+let alpha_variant q =
+  let ren v = Term.Var ("Renamed_" ^ v) in
+  let body =
+    List.map
+      (Atom.map_terms (function Term.Var v -> ren v | c -> c))
+      (Cq.body q)
+  in
+  Cq.make ~answer:(List.map (fun v -> "Renamed_" ^ v) (Cq.answer q)) body
+
+(* ----------------------------------------------------------------- *)
+(* Unique-table properties                                            *)
+(* ----------------------------------------------------------------- *)
+
+let test_intern_idempotent () =
+  for seed = 0 to 99 do
+    let st = Random.State.make [| seed; 11 |] in
+    let q = random_cq st in
+    let id1 = Hc.intern q in
+    let id2 = Hc.intern q in
+    check Alcotest.int "re-interning is the identity" id1 id2;
+    (* the canonical representative interns to its own id *)
+    check Alcotest.int "node round-trips" id1 (Hc.intern (Hc.node id1));
+    (* the canonical form is α-equivalent to the input: same shape *)
+    let canon, _ren = Hc.canonicalize q in
+    check Alcotest.int "canonical form keeps the atom count"
+      (Cq.num_atoms q) (Cq.num_atoms canon);
+    check Alcotest.int "canonical form keeps the answer arity"
+      (List.length (Cq.answer q)) (List.length (Cq.answer canon))
+  done
+
+let test_alpha_equivalent_same_node () =
+  for seed = 0 to 99 do
+    let st = Random.State.make [| seed; 23 |] in
+    let q = random_cq st in
+    let renamed, _ = Cq.rename_apart q in
+    check Alcotest.int "rename_apart lands on the same node" (Hc.intern q)
+      (Hc.intern renamed);
+    check Alcotest.int "prefix renaming lands on the same node"
+      (Hc.intern q)
+      (Hc.intern (alpha_variant q));
+    check Alcotest.bool "same reports the sharing" true (Hc.same q renamed)
+  done
+
+let test_distinct_ids_distinct_structure () =
+  for seed = 0 to 99 do
+    let st = Random.State.make [| seed; 37 |] in
+    let q1 = random_cq st in
+    let q2 = random_cq st in
+    let c1 = fst (Hc.canonicalize q1) in
+    let c2 = fst (Hc.canonicalize q2) in
+    if Hc.intern q1 = Hc.intern q2 then
+      check Alcotest.bool "shared id means equal canonical forms" true
+        (Cq.equal c1 c2)
+    else
+      check Alcotest.bool "distinct ids mean distinct canonical forms" false
+        (Cq.equal c1 c2)
+  done
+
+(* The PR 3 invariant, extended to the interner: [Atom.equal] ignores
+   locations, so the unique-table hash must too — a loc-sensitive hash
+   would file equal atoms under different buckets and silently issue
+   duplicate ids for equal queries. *)
+let test_locations_never_reach_the_keys () =
+  let base = Atom.app "e" [ Term.var "X"; Term.var "Y" ] in
+  let a1 = Atom.with_loc (Loc.make ~line:1 ~col:1) base in
+  let a2 = Atom.with_loc (Loc.make ~line:99 ~col:42) base in
+  check Alcotest.int "atom ids ignore locations" (Hc.intern_atom a1)
+    (Hc.intern_atom a2);
+  check Alcotest.int "cq ids ignore locations"
+    (Hc.intern (Cq.make ~answer:[ "X" ] [ a1 ]))
+    (Hc.intern (Cq.make ~answer:[ "X" ] [ a2 ]));
+  (* and through the parser: the same query at different source
+     positions carries different locs but interns identically *)
+  let p1 = Parser.parse_query "? e(X,Y), r(Y,Z)." in
+  let p2 = Parser.parse_query "\n\n      ? e(X,Y),    r(Y,Z)." in
+  let loc_of q = Atom.loc (List.hd (Cq.body q)) in
+  check Alcotest.bool "parser gave distinct locations" false
+    (Loc.line (loc_of p1) = Loc.line (loc_of p2)
+    && Loc.col (loc_of p1) = Loc.col (loc_of p2));
+  check Alcotest.int "parsed queries share a node" (Hc.intern p1)
+    (Hc.intern p2)
+
+(* The PR 5 [Fact.hash] regression, mirrored: the atom hash must fold
+   over every argument.  Wide atoms differing only in a late argument
+   must intern to distinct, stable ids. *)
+let test_full_arity_hashing () =
+  let wide i =
+    Atom.app "w"
+      (List.init 11 (fun k -> Term.var ("P" ^ string_of_int k))
+      @ [ Term.cst ("tail" ^ string_of_int i) ])
+  in
+  let ids = List.init 64 (fun i -> Hc.intern_atom (wide i)) in
+  check Alcotest.int "late-argument variation keeps atoms distinct" 64
+    (List.length (List.sort_uniq compare ids));
+  check
+    Alcotest.(list int)
+    "re-interning is stable" ids
+    (List.init 64 (fun i -> Hc.intern_atom (wide i)))
+
+(* ----------------------------------------------------------------- *)
+(* Containment: the fuzzing battery proper                            *)
+(* ----------------------------------------------------------------- *)
+
+(* A claimed witness is checked, not trusted: it must map every atom of
+   [general]'s body into [specific]'s body and send answer variables to
+   answer variables positionally. *)
+let witness_valid ~general ~specific w =
+  List.for_all
+    (fun a ->
+      let a' = Subst.apply_atom w a in
+      List.exists (Atom.equal a') (Cq.body specific))
+    (Cq.body general)
+  && List.for_all2
+       (fun xg xs ->
+         match Subst.find_opt xg w with
+         | Some (Term.Var v) -> String.equal v xs
+         | Some (Term.Cst _) | None -> false)
+       (Cq.answer general) (Cq.answer specific)
+
+let check_pair_agrees name q1 q2 =
+  List.iter
+    (fun (general, specific) ->
+      let expected = Containment.subsumes ~hc:Hc.Structural ~general specific in
+      check Alcotest.bool (name ^ ": subsumes verdicts agree") expected
+        (Containment.subsumes ~hc:Hc.Interned ~general specific);
+      List.iter
+        (fun hc ->
+          let verdict, w = Containment.subsumes_witness ~hc ~general specific in
+          check Alcotest.bool
+            (name ^ ": witness verdict matches subsumes")
+            expected verdict;
+          match (verdict, w) with
+          | true, Some w ->
+              check Alcotest.bool
+                (name ^ ": witness is a homomorphism")
+                true
+                (witness_valid ~general ~specific w)
+          | true, None -> Alcotest.failf "%s: positive verdict, no witness" name
+          | false, Some _ -> Alcotest.failf "%s: negative verdict with witness" name
+          | false, None -> ())
+        [ Hc.Structural; Hc.Interned ])
+    [ (q1, q2); (q2, q1); (q1, q1) ];
+  check Alcotest.bool
+    (name ^ ": equivalent agrees")
+    (Containment.equivalent ~hc:Hc.Structural q1 q2)
+    (Containment.equivalent ~hc:Hc.Interned q1 q2);
+  check cq
+    (name ^ ": minimize agrees")
+    (Containment.minimize ~hc:Hc.Structural q1)
+    (Containment.minimize ~hc:Hc.Interned q1)
+
+let test_fuzz_containment () =
+  (* half the seeds run against a warm store, half after a reset: the
+     verdicts may come from the memo or from a fresh computation, and
+     must not care which *)
+  for seed = 0 to 239 do
+    if seed mod 2 = 0 then Hc.reset ();
+    let st = Random.State.make [| seed; 101 |] in
+    let q1 = random_cq st in
+    let q2 = random_cq st in
+    check_pair_agrees (Printf.sprintf "seed %d" seed) q1 q2;
+    (* α-variants must hit the same memo lines and the same verdicts *)
+    check_pair_agrees
+      (Printf.sprintf "seed %d (alpha)" seed)
+      (alpha_variant q1) q2
+  done
+
+let test_fuzz_prune_ucq () =
+  for seed = 0 to 59 do
+    let st = Random.State.make [| seed; 211 |] in
+    let ucq = List.init 4 (fun _ -> random_cq st) in
+    (* prune_ucq requires uniform answer arity: make them boolean *)
+    let ucq = List.map (fun q -> Cq.boolean (Cq.body q)) ucq in
+    check
+      Alcotest.(list cq)
+      (Printf.sprintf "seed %d: pruned UCQs agree" seed)
+      (Containment.prune_ucq ~hc:Hc.Structural ucq)
+      (Containment.prune_ucq ~hc:Hc.Interned ucq)
+  done
+
+(* Replay every cached verdict against the fresh structural oracle: the
+   memo's id-pair keying is sound only because verdicts are computed on
+   canonical representatives, and this is where that argument is checked
+   rather than believed. *)
+let test_memo_coherence_replay () =
+  Hc.reset ();
+  for seed = 0 to 59 do
+    let st = Random.State.make [| seed; 307 |] in
+    let q1 = random_cq st in
+    let q2 = random_cq st in
+    ignore (Containment.subsumes ~hc:Hc.Interned ~general:q1 q2);
+    ignore (Containment.equivalent ~hc:Hc.Interned q1 q2);
+    ignore (Containment.minimize ~hc:Hc.Interned q1)
+  done;
+  let entries = Hc.memo_entries () in
+  check Alcotest.bool "the workload populated the memo" true
+    (List.length entries > 50);
+  List.iter
+    (fun ((gid, sid), (verdict, w)) ->
+      let general = Hc.node gid in
+      let specific = Hc.node sid in
+      check Alcotest.bool
+        (Printf.sprintf "entry (%d,%d) replays against the oracle" gid sid)
+        (Containment.subsumes ~hc:Hc.Structural ~general specific)
+        verdict;
+      match (verdict, w) with
+      | true, Some w ->
+          check Alcotest.bool
+            (Printf.sprintf "entry (%d,%d) witness is a homomorphism" gid sid)
+            true
+            (witness_valid ~general ~specific w)
+      | true, None ->
+          Alcotest.failf "entry (%d,%d): positive verdict cached without witness"
+            gid sid
+      | false, Some _ ->
+          Alcotest.failf "entry (%d,%d): negative verdict cached with witness"
+            gid sid
+      | false, None -> ())
+    entries
+
+(* ----------------------------------------------------------------- *)
+(* Rewriting: same UCQs, same completeness, same trip points          *)
+(* ----------------------------------------------------------------- *)
+
+(* Rewriting draws on the global fresh-name supply, so the two runs are
+   pinned to the same names by resetting it; only then is byte equality
+   of the UCQs the right oracle. *)
+let reproducible go hc =
+  Term.reset_fresh_counter ();
+  go hc
+
+let check_rewrite_agrees name (a : Rewrite.result) (b : Rewrite.result) =
+  check Alcotest.(list cq) (name ^ ": ucq") a.Rewrite.ucq b.Rewrite.ucq;
+  check Alcotest.bool (name ^ ": complete") a.Rewrite.complete b.Rewrite.complete;
+  check Alcotest.int (name ^ ": generated") a.Rewrite.generated b.Rewrite.generated;
+  check Alcotest.int (name ^ ": kept") a.Rewrite.kept b.Rewrite.kept;
+  check
+    Alcotest.(option string)
+    (name ^ ": tripped")
+    (Option.map Budget.resource_name a.Rewrite.tripped)
+    (Option.map Budget.resource_name b.Rewrite.tripped)
+
+let test_rewrite_zoo_differential () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      if Theory.all_single_head e.Zoo.theory then begin
+        let go hc =
+          Rewrite.rewrite ~hc ~max_disjuncts:60 ~max_steps:400 e.Zoo.theory
+            e.Zoo.query
+        in
+        check_rewrite_agrees e.Zoo.name (reproducible go Hc.Structural)
+          (reproducible go Hc.Interned);
+        let ka = Rewrite.kappa ~hc:Hc.Structural e.Zoo.theory in
+        let kb = Rewrite.kappa ~hc:Hc.Interned e.Zoo.theory in
+        check Alcotest.int (e.Zoo.name ^ ": kappa") ka.Rewrite.kappa
+          kb.Rewrite.kappa;
+        check Alcotest.bool
+          (e.Zoo.name ^ ": kappa complete")
+          ka.Rewrite.all_complete kb.Rewrite.all_complete
+      end)
+    Zoo.all
+
+let test_rewrite_random_differential () =
+  for seed = 0 to 59 do
+    let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+    let st = Random.State.make [| seed; 401 |] in
+    let query = random_cq st in
+    let go hc = Rewrite.rewrite ~hc ~max_disjuncts:30 ~max_steps:150 theory query in
+    check_rewrite_agrees
+      (Printf.sprintf "seed %d" seed)
+      (reproducible go Hc.Structural)
+      (reproducible go Hc.Interned)
+  done
+
+(* Fuel traps: the interned path must charge the budget exactly where
+   the structural path does — a memo hit that skipped a charge would
+   shift the trip point and diverge here. *)
+let test_rewrite_fuel_trap_differential () =
+  let theory = th "e(X,Y) -> e(Y,X). e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let query = Parser.parse_query "? e(X,Y)." in
+  List.iter
+    (fun after ->
+      let go hc =
+        Rewrite.rewrite
+          ~budget:(Budget.with_fuel_trap ~after (Budget.v ()))
+          ~hc ~max_disjuncts:40 ~max_steps:200 theory query
+      in
+      check_rewrite_agrees
+        (Printf.sprintf "trap %d" after)
+        (reproducible go Hc.Structural)
+        (reproducible go Hc.Interned))
+    [ 0; 1; 2; 3; 5; 8; 13; 21; 55 ]
+
+let test_rewrite_expired_deadline_differential () =
+  (* an already-expired deadline is the one deterministic point of the
+     wall-clock resource: both modes must trip it identically *)
+  let theory = th "e(X,Y) -> e(Y,X). e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let query = Parser.parse_query "? e(X,Y)." in
+  let go hc =
+    Rewrite.rewrite
+      ~budget:(Budget.v ~deadline_s:(-1.0) ())
+      ~hc ~max_disjuncts:40 ~max_steps:200 theory query
+  in
+  check_rewrite_agrees "deadline 0" (reproducible go Hc.Structural)
+    (reproducible go Hc.Interned)
+
+(* ----------------------------------------------------------------- *)
+(* Ptypes and Converge: the evaluation memo                           *)
+(* ----------------------------------------------------------------- *)
+
+let test_ptypes_differential () =
+  for seed = 0 to 14 do
+    let theory = Gen.random_binary_theory ~rules:3 ~seed () in
+    let base = Gen.random_instance ~facts:4 ~seed:(seed + 500) () in
+    let r = Chase.run ~max_rounds:2 ~max_elements:24 theory base in
+    let inst = r.Chase.instance in
+    (match Instance.elements inst with
+    | d :: e :: _ ->
+        List.iter
+          (fun vars ->
+            check Alcotest.bool
+              (Printf.sprintf "seed %d: ptp_leq vars=%d" seed vars)
+              (Ptypes.ptp_leq ~hc:Hc.Structural ~vars inst (Some d) inst
+                 (Some e))
+              (Ptypes.ptp_leq ~hc:Hc.Interned ~vars inst (Some d) inst (Some e));
+            check Alcotest.bool
+              (Printf.sprintf "seed %d: equiv vars=%d" seed vars)
+              (Ptypes.equiv ~hc:Hc.Structural ~vars inst d e)
+              (Ptypes.equiv ~hc:Hc.Interned ~vars inst d e))
+          [ 1; 2 ]
+    | _ -> ());
+    let ca, na = Ptypes.classes ~hc:Hc.Structural ~vars:2 inst in
+    let cb, nb = Ptypes.classes ~hc:Hc.Interned ~vars:2 inst in
+    check Alcotest.int (Printf.sprintf "seed %d: class count" seed) na nb;
+    check
+      Alcotest.(array int)
+      (Printf.sprintf "seed %d: class assignment" seed)
+      ca cb
+  done
+
+let test_converge_differential () =
+  let inst = Gen.cycle ~len:4 () in
+  let coloring = Coloring.natural ~m:2 inst in
+  let p = Atom.pred (Atom.app "e" [ Term.var "X"; Term.var "Y" ]) in
+  let queries = Converge.default_queries [ p ] in
+  check Alcotest.bool "the default family is non-empty" true (queries <> []);
+  let go hc = Converge.sequence ~hc ~max_n:3 coloring queries in
+  let a = go Hc.Structural in
+  let b = go Hc.Interned in
+  List.iter2
+    (fun (pa : Converge.point) (pb : Converge.point) ->
+      check Alcotest.int "n" pa.Converge.n pb.Converge.n;
+      check Alcotest.int "quotient size" pa.Converge.quotient_size
+        pb.Converge.quotient_size;
+      check
+        Alcotest.(list (pair cq string))
+        (Printf.sprintf "gained at n=%d" pa.Converge.n)
+        pa.Converge.gained pb.Converge.gained)
+    a.Converge.points b.Converge.points
+
+(* ----------------------------------------------------------------- *)
+(* Pipeline and judge: end-to-end differential                        *)
+(* ----------------------------------------------------------------- *)
+
+let small_params hc budget =
+  {
+    Pipeline.default_params with
+    Pipeline.chase_depth = 8;
+    depth_growth = [ 1 ];
+    n_schedule = [ 1; 2; 3 ];
+    rewrite_max_disjuncts = 40;
+    rewrite_max_steps = 300;
+    budget;
+    hc;
+  }
+
+let pipeline_sig = function
+  | Pipeline.Query_entailed d -> Printf.sprintf "certain:%d" d
+  | Pipeline.Model (cert, stats) ->
+      Printf.sprintf "model:%d:n=%s"
+        (Instance.num_elements cert.Certificate.model)
+        (match stats.Pipeline.n_used with
+        | Some n -> string_of_int n
+        | None -> "-")
+  | Pipeline.Unknown (why, stats) ->
+      Printf.sprintf "unknown:%s:tripped=%s" why
+        (match stats.Pipeline.tripped with
+        | Some r -> Budget.resource_name r
+        | None -> "-")
+
+let judge_sig (v : Judge.verdict) =
+  let evidence =
+    match v.Judge.evidence with
+    | Judge.Certain d -> Printf.sprintf "certain:%d" d
+    | Judge.Witness (cert, _) ->
+        Printf.sprintf "model:%d"
+          (Instance.num_elements cert.Certificate.model)
+    | Judge.No_small_model { max_extra; _ } ->
+        Printf.sprintf "no_small_model:%d" max_extra
+    | Judge.Open why -> "open:" ^ why
+  in
+  Printf.sprintf "%s|conjecture=%b|terminating=%b" evidence
+    v.Judge.conjecture_applies v.Judge.chase_terminating
+
+let test_pipeline_zoo_differential () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let go hc =
+        Pipeline.construct ~params:(small_params hc None) e.Zoo.theory
+          (Zoo.database_instance e) e.Zoo.query
+      in
+      check Alcotest.string e.Zoo.name
+        (pipeline_sig (go Hc.Structural))
+        (pipeline_sig (go Hc.Interned)))
+    Zoo.all
+
+let test_judge_zoo_differential () =
+  List.iter
+    (fun name ->
+      let e = Option.get (Zoo.find name) in
+      let d = Zoo.database_instance e in
+      let go hc =
+        Judge.judge
+          ~budget:{ Judge.default_budget with pipeline_params = small_params hc None }
+          e.Zoo.theory d e.Zoo.query
+      in
+      check Alcotest.string name
+        (judge_sig (go Hc.Structural))
+        (judge_sig (go Hc.Interned)))
+    [ "ex1"; "ex7"; "remark3"; "sec55" ]
+
+let test_judge_random_differential () =
+  for seed = 0 to 11 do
+    let theory = Gen.random_binary_theory ~rules:4 ~seed () in
+    let d = Gen.random_instance ~facts:4 ~seed:(seed + 1000) () in
+    let st = Random.State.make [| seed; 709 |] in
+    let query = Cq.boolean (Cq.body (random_cq st)) in
+    let go hc =
+      (* a fresh pure-fuel governor per run: fuel trips are
+         deterministic, so both modes must stop at the same point *)
+      let budget =
+        Budget.v ~rounds:60 ~elements:1_500 ~facts:10_000 ~rewrite_steps:400
+          ~refine_steps:2_000 ~nodes:400 ()
+      in
+      Judge.judge
+        ~budget:
+          { Judge.default_budget with
+            pipeline_params = small_params hc (Some budget);
+          }
+        theory d query
+    in
+    check Alcotest.string
+      (Printf.sprintf "seed %d" seed)
+      (judge_sig (go Hc.Structural))
+      (judge_sig (go Hc.Interned))
+  done
+
+let test_pipeline_fuel_trap_differential () =
+  let e = Option.get (Zoo.find "ex1") in
+  let d = Zoo.database_instance e in
+  List.iter
+    (fun after ->
+      let go hc =
+        Pipeline.construct
+          ~params:
+            (small_params hc (Some (Budget.with_fuel_trap ~after (Budget.v ()))))
+          e.Zoo.theory d e.Zoo.query
+      in
+      check Alcotest.string
+        (Printf.sprintf "trap %d" after)
+        (pipeline_sig (go Hc.Structural))
+        (pipeline_sig (go Hc.Interned)))
+    [ 0; 5; 25; 125; 625 ]
+
+(* ----------------------------------------------------------------- *)
+(* Observability reconciliation                                       *)
+(* ----------------------------------------------------------------- *)
+
+let hc_counter_names =
+  [
+    "hc.lookups";
+    "hc.hits";
+    "hc.resets";
+    "containment.memo_lookups";
+    "containment.memo_hits";
+    "hc.eval_memo_lookups";
+    "hc.eval_memo_hits";
+  ]
+
+let hc_deltas ~before ~after =
+  let v s n = Option.value ~default:0 (M.find_int s n) in
+  List.map (fun n -> (n, v after n - v before n)) hc_counter_names
+
+(* A mixed workload touching both the containment memo and the eval
+   memo, deterministic given a reset store. *)
+let hc_workload () =
+  let theory = th "e(X,Y) -> e(Y,X). e(X,Y), e(Y,Z) -> e(X,Z)." in
+  let query = Parser.parse_query "? e(X,Y)." in
+  ignore (Rewrite.rewrite ~hc:Hc.Interned ~max_disjuncts:30 ~max_steps:150 theory query);
+  ignore (Ptypes.classes ~hc:Hc.Interned ~vars:2 (Gen.cycle ~len:3 ()))
+
+let test_counters_reconcile () =
+  Hc.reset ();
+  let before = M.snapshot () in
+  hc_workload ();
+  let after = M.snapshot () in
+  let d name = List.assoc name (hc_deltas ~before ~after) in
+  check Alcotest.bool "store lookups happened" true (d "hc.lookups" > 0);
+  check Alcotest.bool "memo lookups happened" true
+    (d "containment.memo_lookups" > 0);
+  List.iter
+    (fun (hits, lookups) ->
+      check Alcotest.bool (hits ^ " is non-negative") true (d hits >= 0);
+      check Alcotest.bool
+        (hits ^ " never exceeds " ^ lookups)
+        true
+        (d hits <= d lookups))
+    [
+      ("hc.hits", "hc.lookups");
+      ("containment.memo_hits", "containment.memo_lookups");
+      ("hc.eval_memo_hits", "hc.eval_memo_lookups");
+    ];
+  (* the nodes gauge is exactly the live store size *)
+  let atoms, cqs = Hc.store_size () in
+  check Alcotest.int "hc.nodes gauge tracks the store" (atoms + cqs)
+    (Option.value ~default:(-1) (M.find_int after "hc.nodes"))
+
+let test_counters_repeatable () =
+  let run () =
+    Hc.reset ();
+    let before = M.snapshot () in
+    hc_workload ();
+    hc_deltas ~before ~after:(M.snapshot ())
+  in
+  check
+    Alcotest.(list (pair string int))
+    "identical workloads move the hc counters identically" (run ()) (run ())
+
+let test_trace_inertness () =
+  T.set_sink None;
+  let run () =
+    Hc.reset ();
+    let before = M.snapshot () in
+    hc_workload ();
+    hc_deltas ~before ~after:(M.snapshot ())
+  in
+  let off = run () in
+  let _collector = T.install_collector () in
+  let on = run () in
+  T.set_sink None;
+  check
+    Alcotest.(list (pair string int))
+    "tracing on/off leaves the hc counters inert" off on
+
+(* ----------------------------------------------------------------- *)
+(* Serve: eviction resets the store without verdict drift             *)
+(* ----------------------------------------------------------------- *)
+
+let reply t line =
+  match Json.parse (Server.handle_line t line) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable reply to %S: %s" line e
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks %S: %s" name (Json.to_string j)
+
+let test_serve_eviction_no_drift () =
+  (* pinned to Interned regardless of BDDFC_TEST_HC: the test is about
+     the eviction hook resetting a populated store *)
+  let config =
+    { Server.default_config with Server.chase_rounds = 8; hc = Hc.Interned }
+  in
+  let t = Server.create ~config () in
+  let load =
+    reply t
+      {|{"id":0,"op":"load","session":"s","program":"e(X,Y) -> e(Y,X). e(a,b)."}|}
+  in
+  check Alcotest.bool "load ok" true
+    (match member "ok" load with Json.B b -> b | _ -> false);
+  let judge_line =
+    {|{"id":1,"op":"judge","session":"s","query":"? e(b,a)."}|}
+  in
+  let first = Server.handle_line t judge_line in
+  let atoms0, cqs0 = Hc.store_size () in
+  check Alcotest.bool "the judge populated the store" true (atoms0 + cqs0 > 0);
+  let resets_before =
+    Option.value ~default:0 (M.find_int (M.snapshot ()) "hc.resets")
+  in
+  let evicted = reply t {|{"id":2,"op":"evict","session":"s"}|} in
+  check Alcotest.bool "eviction reported" true
+    (match member "evicted" evicted with Json.B b -> b | _ -> false);
+  check Alcotest.int "eviction reset the interned store (hc.resets)"
+    (resets_before + 1)
+    (Option.value ~default:0 (M.find_int (M.snapshot ()) "hc.resets"));
+  let atoms1, cqs1 = Hc.store_size () in
+  check Alcotest.int "the store is empty after eviction" 0 (atoms1 + cqs1);
+  (* the rebuilt session re-interns from empty and lands on the same
+     bytes: no verdict drift across the reset *)
+  let second = Server.handle_line t judge_line in
+  check Alcotest.string "byte-identical reply across the eviction" first second;
+  let atoms2, cqs2 = Hc.store_size () in
+  check Alcotest.bool "the rebuilt session re-interned" true (atoms2 + cqs2 > 0)
+
+(* ----------------------------------------------------------------- *)
+
+let suite =
+  ( "hc",
+    [
+      tc "interning is idempotent" test_intern_idempotent;
+      tc "alpha-equivalent queries share a node" test_alpha_equivalent_same_node;
+      tc "distinct ids imply distinct structure" test_distinct_ids_distinct_structure;
+      tc "locations never reach the keys" test_locations_never_reach_the_keys;
+      tc "atom hashing folds over every argument" test_full_arity_hashing;
+      tc "fuzz: containment verdicts agree across modes" test_fuzz_containment;
+      tc "fuzz: UCQ pruning agrees across modes" test_fuzz_prune_ucq;
+      tc "memo coherence: cached verdicts replay" test_memo_coherence_replay;
+      tc "rewrite: zoo differential" test_rewrite_zoo_differential;
+      tc "rewrite: random-theory differential" test_rewrite_random_differential;
+      tc "rewrite: fuel-trap points do not diverge" test_rewrite_fuel_trap_differential;
+      tc "rewrite: expired deadline trips identically" test_rewrite_expired_deadline_differential;
+      tc "ptypes: inclusion and classes agree across modes" test_ptypes_differential;
+      tc "converge: gained-query traces agree across modes" test_converge_differential;
+      tc "pipeline: zoo differential" test_pipeline_zoo_differential;
+      tc "judge: zoo differential" test_judge_zoo_differential;
+      tc "judge: random differential under fuel budgets" test_judge_random_differential;
+      tc "pipeline: fuel-trap points do not diverge" test_pipeline_fuel_trap_differential;
+      tc "obs: hits reconcile with lookups and the store" test_counters_reconcile;
+      tc "obs: identical workloads, identical counter deltas" test_counters_repeatable;
+      tc "obs: tracing on/off leaves hc counters inert" test_trace_inertness;
+      tc "serve: eviction resets the store without drift" test_serve_eviction_no_drift;
+    ] )
