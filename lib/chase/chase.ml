@@ -154,6 +154,9 @@ let demand_key rule binding =
   in
   String.concat "&" (List.map render_atom (Rule.head rule))
 
+type record =
+  round:int -> rule:Rule.t -> binding:Eval.binding -> Fact.t -> unit
+
 type round_stats = {
   fired_datalog : int;
   fired_existential : int;
@@ -222,10 +225,15 @@ let oblivious_key rule binding =
          (fun (x, id) -> x ^ ":" ^ string_of_int id)
          (Smap.bindings binding))
 
-let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
-    theory inst =
+let parallel_round ~variant ~domains ~datalog_only ?fired ?since ?record
+    ~budget ~round_no theory inst =
   Obs.Metrics.incr m_rounds;
-  let since = round_no - 1 and upto = round_no in
+  let since = Option.value since ~default:(round_no - 1) and upto = round_no in
+  let noted =
+    match record with
+    | Some fn -> fun rule binding f -> fn ~round:round_no ~rule ~binding f
+    | None -> fun _ _ _ -> ()
+  in
   let pool = Shard.shared_pool domains in
   (* phase A *)
   let jobs = ref [] in
@@ -349,9 +357,11 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
                         invalid_arg ("Chase.round: unbound head variable " ^ x))
                       head_atom
                   in
-                  if add f then
+                  if add f then begin
+                    noted job.pj_rule binding f;
                     stats :=
-                      { !stats with fired_datalog = !stats.fired_datalog + 1 })
+                      { !stats with fired_datalog = !stats.fired_datalog + 1 }
+                  end)
                 (Rule.head job.pj_rule)
           | Pexist { pc_binding; pc_fire; pc_key } ->
               if pc_fire && not (Hashtbl.mem demanded pc_key) then begin
@@ -389,7 +399,8 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
                 in
                 List.iter
                   (fun head_atom ->
-                    ignore (add (instantiate inst pc_binding fresh head_atom)))
+                    let f = instantiate inst pc_binding fresh head_atom in
+                    if add f then noted job.pj_rule pc_binding f)
                   (Rule.head job.pj_rule);
                 stats :=
                   { !stats with
@@ -407,14 +418,19 @@ let parallel_round ~variant ~domains ~datalog_only ?fired ~budget ~round_no
    and Parallel.  New facts are stamped with [round_no] as their birth.
    Fresh elements and added facts are charged to [budget]; a trip
    mid-round leaves a partial round behind (best effort). *)
-let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
-    ~(budget : Budget.t) ~round_no theory inst =
+let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired ?since
+    ?record ~(budget : Budget.t) ~round_no theory inst =
   let snapshot, upto =
     match strategy with
     | Naive -> (Instance.copy inst, None)
     | Seminaive | Parallel _ -> (inst, Some round_no)
   in
   Obs.Metrics.incr m_rounds;
+  let noted =
+    match record with
+    | Some fn -> fun rule binding f -> fn ~round:round_no ~rule ~binding f
+    | None -> fun _ _ _ -> ()
+  in
   let added = ref 0 in
   let stats = ref { fired_datalog = 0; fired_existential = 0; nulls = 0 } in
   let add f =
@@ -433,7 +449,8 @@ let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
     match strategy with
     | Naive -> Eval.iter_solutions ?engine:eval snapshot (Rule.body rule) yield
     | Seminaive | Parallel _ ->
-        Eval.iter_solutions_delta ~since:(round_no - 1) ~upto:round_no
+        Eval.iter_solutions_delta
+          ~since:(Option.value since ~default:(round_no - 1)) ~upto:round_no
           ?engine:eval inst (Rule.body rule) yield
   in
   (* [fired] persists across rounds (needed for the oblivious variant,
@@ -456,9 +473,11 @@ let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
                         invalid_arg ("Chase.round: unbound head variable " ^ x))
                       head_atom
                   in
-                  if add f then
+                  if add f then begin
+                    noted rule binding f;
                     stats :=
-                      { !stats with fired_datalog = !stats.fired_datalog + 1 })
+                      { !stats with fired_datalog = !stats.fired_datalog + 1 }
+                  end)
                 (Rule.head rule)
             end
             else begin
@@ -515,7 +534,8 @@ let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
                 in
                 List.iter
                   (fun head_atom ->
-                    ignore (add (instantiate inst binding fresh head_atom)))
+                    let f = instantiate inst binding fresh head_atom in
+                    if add f then noted rule binding f)
                   (Rule.head rule);
                 stats :=
                   { !stats with
@@ -533,17 +553,17 @@ let sequential_round ~variant ~strategy ?eval ~datalog_only ?fired
    knob); its result is bit-identical to [Seminaive] under the default
    compiled engine. *)
 let round ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
-    ?fired ~(budget : Budget.t) ~round_no theory inst =
+    ?fired ?since ?record ~(budget : Budget.t) ~round_no theory inst =
   let strategy =
     match strategy with Some s -> s | None -> default_strategy ()
   in
   match strategy with
   | Parallel n when n >= 2 ->
-      parallel_round ~variant ~domains:n ~datalog_only ?fired ~budget
-        ~round_no theory inst
+      parallel_round ~variant ~domains:n ~datalog_only ?fired ?since ?record
+        ~budget ~round_no theory inst
   | Naive | Seminaive | Parallel _ ->
-      sequential_round ~variant ~strategy ?eval ~datalog_only ?fired ~budget
-        ~round_no theory inst
+      sequential_round ~variant ~strategy ?eval ~datalog_only ?fired ?since
+        ?record ~budget ~round_no theory inst
 
 let default_rounds = 64
 let default_elements = 100_000
@@ -568,7 +588,7 @@ let strategy_tag = function
 let variant_tag = function Restricted -> "restricted" | Oblivious -> "oblivious"
 
 let run ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
-    ?watch ?budget ?max_rounds ?max_elements theory base =
+    ?watch ?record ?budget ?max_rounds ?max_elements theory base =
   let strategy =
     match strategy with Some s -> s | None -> default_strategy ()
   in
@@ -612,7 +632,7 @@ let run ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
     let added, stats =
       round ~variant ~strategy ?eval ~datalog_only
         ?fired:(if variant = Oblivious then Some fired else None)
-        ~budget ~round_no:(i + 1) theory inst
+        ?record ~budget ~round_no:(i + 1) theory inst
     in
     per_round := added :: !per_round;
     rounds := i + 1;
@@ -652,6 +672,72 @@ let run ?(variant = Restricted) ?strategy ?eval ?(datalog_only = false)
     base_facts;
     new_facts_per_round = !per_round;
     watch_round = !watch_round;
+  }
+
+(* Resume a chase *in place* on an instance whose committed prefix is
+   already saturated up to [from_round] — the engine behind incremental
+   maintenance (Maintain).  No copy, no birth reset: the caller has
+   staged its update delta at birth [from_round], and rounds are numbered
+   from [from_round + 1] so the existing stamps keep driving the
+   semi-naive windows.
+
+   With [full_first] the first resumed round joins the whole committed
+   prefix ([since = 0]) instead of the last delta: after deletions, a
+   violated trigger can have an all-old body (the deletion removed its
+   witness, not a body fact), which no delta window would ever re-visit.
+   [rule_filter] restricts that one full-join round to the rules that can
+   actually be violated — the caller must guarantee every rule it filters
+   out is still satisfied (Maintain passes the predicate-level cone
+   filter; DESIGN.md section 14).  Subsequent rounds always run the full
+   theory semi-naively, so cascades re-enter the normal delta discipline.
+
+   Restricted variant only: the oblivious chase's fired-trigger table
+   does not survive across runs. *)
+let resume ?strategy ?eval ?record ?budget ?max_rounds ?max_elements
+    ?(full_first = false) ?(rule_filter = fun _ -> true) ~from_round theory
+    inst =
+  let strategy =
+    match strategy with Some s -> s | None -> default_strategy ()
+  in
+  let budget = effective_budget ?budget ?max_rounds ?max_elements () in
+  Obs.Metrics.incr m_runs;
+  Obs.Trace.span "chase.resume" @@ fun () ->
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.attr "strategy" (Obs.Str (strategy_tag strategy));
+    Obs.Trace.attr "from_round" (Obs.Int from_round)
+  end;
+  let first_theory =
+    if full_first then
+      Theory.make (List.filter rule_filter (Theory.rules theory))
+    else theory
+  in
+  let per_round = ref [] in
+  let rounds = ref from_round in
+  let rec go i =
+    Budget.check_deadline budget;
+    Budget.charge budget Budget.Rounds 1;
+    let round_no = i + 1 in
+    let first = i = from_round in
+    let since = if first && full_first then Some 0 else None in
+    let th = if first && full_first then first_theory else theory in
+    let added, _stats =
+      round ~strategy ?eval ?since ?record ~budget ~round_no th inst
+    in
+    per_round := added :: !per_round;
+    if added = 0 then Fixpoint
+    else begin
+      rounds := round_no;
+      go round_no
+    end
+  in
+  let outcome = try go from_round with Budget.Exhausted r -> Exhausted r in
+  {
+    instance = inst;
+    rounds = !rounds;
+    outcome;
+    base_facts = [];
+    new_facts_per_round = !per_round;
+    watch_round = None;
   }
 
 (* Chase^k(D, T): exactly [k] rounds (or fewer if a fixpoint hits).

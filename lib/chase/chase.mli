@@ -83,12 +83,24 @@ val instantiate :
     supplied fresh-element function.  (Exposed for the naive model
     search.) *)
 
+type record =
+  round:int -> rule:Rule.t -> binding:Eval.binding -> Fact.t -> unit
+(** Derivation hook: called once per fact the chase actually adds, with
+    the round it was added in, the rule that fired and the body binding
+    the trigger matched under (for existential rules the binding covers
+    the body variables only — the invented nulls are in the fact).  Both
+    round engines call it at their mutation sites in the sequential
+    enumeration order, so the recorded stream is bit-identical across
+    [Seminaive] and [Parallel n].  Incremental maintenance (Maintain)
+    uses it to keep first-derivation edges without a separate replay. *)
+
 val run :
   ?variant:variant ->
   ?strategy:strategy ->
   ?eval:Eval.engine ->
   ?datalog_only:bool ->
   ?watch:Pred.t ->
+  ?record:record ->
   ?budget:Budget.t ->
   ?max_rounds:int ->
   ?max_elements:int ->
@@ -97,6 +109,34 @@ val run :
     fact births are reset, then stamped with derivation rounds).  [watch]
     stops the chase as soon as a fact of that predicate appears,
     recording the round in [watch_round]. *)
+
+val resume :
+  ?strategy:strategy ->
+  ?eval:Eval.engine ->
+  ?record:record ->
+  ?budget:Budget.t ->
+  ?max_rounds:int ->
+  ?max_elements:int ->
+  ?full_first:bool ->
+  ?rule_filter:(Rule.t -> bool) ->
+  from_round:int ->
+  Theory.t -> Instance.t -> result
+(** Resume the restricted chase *in place* on an instance whose
+    committed prefix is saturated up to birth round [from_round]: no
+    copy, no birth reset, rounds numbered from [from_round + 1].  The
+    caller stages its update delta at birth [from_round] beforehand so
+    the semi-naive windows pick it up as the first frontier.
+
+    [full_first] makes the first resumed round a full-window join
+    ([since = 0]) — required after deletions, whose violated triggers
+    can have all-old bodies that no delta window re-visits.
+    [rule_filter] restricts that one round; the caller must guarantee
+    every rule filtered out is still satisfied (DESIGN.md section 14).
+
+    The result's [instance] is the input (mutated); [rounds] is the
+    absolute number of the last productive round ([from_round] if none);
+    [base_facts] is empty.  On [Fixpoint] the instance is a model.
+    Restricted variant only; [max_rounds] caps *resumed* rounds. *)
 
 val run_depth :
   ?variant:variant -> ?strategy:strategy -> ?eval:Eval.engine ->

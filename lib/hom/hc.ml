@@ -56,17 +56,20 @@ let canon_prefix = "_hc"
    original), so it is capture-free whatever the input names — even
    inputs already using _hc<k>. *)
 let canonicalize (q : Cq.t) =
-  let tbl = Hashtbl.create 16 in
-  let order = ref [] in
+  (* The renaming lives in an assoc list, newest-first: the queries this
+     store sees are overwhelmingly tiny (a handful of distinct
+     variables), and a per-call [Hashtbl.create] costs more than the
+     whole linear scan at that size.  The list IS the occurrence order,
+     so [order] falls out for free. *)
+  let tbl = ref [] in
   let next = ref 0 in
   let rename x =
-    match Hashtbl.find_opt tbl x with
+    match List.assoc_opt x !tbl with
     | Some y -> y
     | None ->
         let y = canon_prefix ^ string_of_int !next in
         incr next;
-        Hashtbl.replace tbl x y;
-        order := (x, y) :: !order;
+        tbl := (x, y) :: !tbl;
         y
   in
   List.iter (fun x -> ignore (rename x)) (Cq.answer q);
@@ -84,8 +87,8 @@ let canonicalize (q : Cq.t) =
         Atom.make (Atom.pred a) args)
       (Cq.body q)
   in
-  let answer = List.map (fun x -> Hashtbl.find tbl x) (Cq.answer q) in
-  (Cq.make ~answer body, List.rev !order)
+  let answer = List.map (fun x -> List.assoc x !tbl) (Cq.answer q) in
+  (Cq.make ~answer body, List.rev !tbl)
 
 (* ---------------- the unique table ---------------- *)
 

@@ -5,13 +5,17 @@
 
 module Json = Bddfc_obs.Obs.Json
 
-type op = Load | Judge | Cert | Query | Evict | Ping | Stats | Shutdown
+type op =
+  | Load | Judge | Cert | Query | Assert | Retract | Evict | Ping | Stats
+  | Shutdown
 
 let op_name = function
   | Load -> "load"
   | Judge -> "judge"
   | Cert -> "cert"
   | Query -> "query"
+  | Assert -> "assert"
+  | Retract -> "retract"
   | Evict -> "evict"
   | Ping -> "ping"
   | Stats -> "stats"
@@ -22,6 +26,8 @@ let op_of_name = function
   | "judge" -> Some Judge
   | "cert" -> Some Cert
   | "query" -> Some Query
+  | "assert" -> Some Assert
+  | "retract" -> Some Retract
   | "evict" -> Some Evict
   | "ping" -> Some Ping
   | "stats" -> Some Stats
@@ -34,6 +40,7 @@ type request = {
   session : string option;
   program : string option;
   query : string option;
+  facts : string option; (* assert/retract batch, program-fact syntax *)
   rounds : int option;
   deadline_s : float option;
   fuel : int option;
@@ -84,6 +91,7 @@ let parse_request line =
                     session = str_member "session" j;
                     program = str_member "program" j;
                     query = str_member "query" j;
+                    facts = str_member "facts" j;
                     rounds = int_member "rounds" j;
                     deadline_s = num_member "deadline_s" j;
                     fuel = int_member "fuel" j;

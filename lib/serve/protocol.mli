@@ -19,6 +19,8 @@ type op =
   | Judge (** full finite-controllability verdict on a session query *)
   | Cert (** Theorem 2 pipeline: certified countermodel construction *)
   | Query (** evaluate a CQ against the session's resident chase prefix *)
+  | Assert (** add base facts to the session's db, maintaining prefixes *)
+  | Retract (** remove base facts, delete/rederive resident prefixes *)
   | Evict (** drop a session's warm state (rebuild on next use) *)
   | Ping
   | Stats (** server counters and session census *)
@@ -32,6 +34,9 @@ type request = {
   session : string option;
   program : string option; (** [load]: program source text *)
   query : string option; (** [judge]/[cert]/[query]: a query, [? ...] *)
+  facts : string option;
+      (** [assert]/[retract]: ground facts in program syntax, e.g.
+          ["e(a,b). e(b,c)."] *)
   rounds : int option; (** [query]: chase-prefix depth override *)
   deadline_s : float option; (** per-request deadline override *)
   fuel : int option; (** per-request uniform fuel override *)

@@ -12,6 +12,7 @@ module Obs = Bddfc_obs.Obs
 module Json = Obs.Json
 module Budget = Bddfc_budget.Budget
 module Chase = Bddfc_chase.Chase
+module Maintain = Bddfc_chase.Maintain
 module Eval = Bddfc_hom.Eval
 module Hc = Bddfc_hom.Hc
 module Judge = Bddfc_finitemodel.Judge
@@ -258,35 +259,82 @@ let dispatch t ~fault (r : Protocol.request) =
       let qtext = require "query" r.Protocol.query in
       let q = Parser.parse_query qtext in
       let rounds = Option.value r.Protocol.rounds ~default:t.config.chase_rounds in
-      let cached, res =
+      let cached, st =
         match Hashtbl.find_opt w.Session.chase rounds with
-        | Some res -> (true, res)
+        | Some st -> (true, st)
         | None ->
-            let res =
-              Chase.run ~strategy:t.config.strategy ~budget:b
+            let st =
+              Maintain.saturate ~strategy:t.config.strategy ~budget:b
                 ~max_rounds:rounds w.Session.theory w.Session.db
             in
             (* a prefix truncated at the requested depth is the queryable
                object; any other exhaustion is a failed request and the
                partial prefix is discarded, never cached *)
-            (match res.Chase.outcome with
+            (match st.Maintain.outcome with
             | Chase.Exhausted Budget.Rounds | Chase.Fixpoint | Chase.Watched ->
-                Hashtbl.replace w.Session.chase rounds res
+                Hashtbl.replace w.Session.chase rounds st
             | Chase.Exhausted other -> raise (Budget.Exhausted other));
-            (false, res)
+            (false, st)
       in
       let complete =
-        match res.Chase.outcome with
+        match st.Maintain.outcome with
         | Chase.Fixpoint | Chase.Watched -> true
         | Chase.Exhausted _ -> false
       in
       ( Protocol.Query,
         [ ("session", Json.S name);
-          ("holds", Json.B (Eval.holds res.Chase.instance q));
-          ("rounds", int res.Chase.rounds);
-          ("facts", int (Instance.num_facts res.Chase.instance));
+          ("holds", Json.B (Eval.holds st.Maintain.inst q));
+          ("rounds", int st.Maintain.rounds);
+          ("facts", int (Instance.num_facts st.Maintain.inst));
           ("complete", Json.B complete);
           ("cached", Json.B cached) ] )
+  | Protocol.Assert | Protocol.Retract ->
+      with_session t ~fault b r @@ fun name w ->
+      let text = require "facts" r.Protocol.facts in
+      let atoms = Parser.parse_atoms text in
+      let insert, retract =
+        if r.Protocol.op = Protocol.Assert then (atoms, []) else ([], atoms)
+      in
+      let ins, rem = Maintain.update_db w.Session.db ~insert ~retract in
+      (* maintain every resident prefix in ascending key order, so
+         budget trip points are deterministic; a truncated prefix has no
+         fixpoint to resume from and Maintain.apply re-chases it at its
+         own round bound (counted as a bailout) *)
+      let keys =
+        List.sort compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) w.Session.chase [])
+      in
+      let maintained = ref 0 and bailouts = ref 0 in
+      List.iter
+        (fun k ->
+          let st = Hashtbl.find w.Session.chase k in
+          let st', stats =
+            Maintain.apply ~strategy:t.config.strategy ~budget:b
+              ~max_rounds:k w.Session.theory ~db:w.Session.db st ~insert
+              ~retract
+          in
+          (match st'.Maintain.outcome with
+          | Chase.Exhausted Budget.Rounds | Chase.Fixpoint | Chase.Watched ->
+              Hashtbl.replace w.Session.chase k st'
+          | Chase.Exhausted other -> raise (Budget.Exhausted other));
+          incr maintained;
+          if stats.Maintain.bailed_out then incr bailouts)
+        keys;
+      (* judge/cert verdicts are db-dependent — drop them; the rule
+         slices are theory-only and stay.  The Hc eval memo keys on the
+         instance version, which every mutation above bumped. *)
+      Hashtbl.reset w.Session.verdicts;
+      (match Session.find t.store name with
+      | Some entry -> Session.log_update entry ~insert ~retract
+      | None -> ());
+      ( r.Protocol.op,
+        [ ("session", Json.S name);
+          ( (if r.Protocol.op = Protocol.Assert then "inserted"
+             else "retracted"),
+            int (if r.Protocol.op = Protocol.Assert then ins else rem) );
+          ("db_facts", int (Instance.num_facts w.Session.db));
+          ("maintained", int !maintained);
+          ("bailouts", int !bailouts) ] )
   | Protocol.Judge ->
       with_session t ~fault b r @@ fun name w ->
       let qtext = require "query" r.Protocol.query in

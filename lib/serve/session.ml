@@ -10,7 +10,7 @@ type warm = {
   theory : Theory.t;
   db : Instance.t;
   lint : Bddfc_analysis.Diagnostic.counts;
-  chase : (int, Bddfc_chase.Chase.result) Hashtbl.t;
+  chase : (int, Bddfc_chase.Maintain.state) Hashtbl.t;
   verdicts : (string, (string * Bddfc_obs.Obs.Json.t) list) Hashtbl.t;
   slices : (string, Bddfc_analysis.Dataflow.slice) Hashtbl.t;
       (* query-directed rule slices, keyed by the sorted predicate
@@ -22,16 +22,24 @@ type entry = {
   source : string;
   mutable warm : warm option;
   mutable builds : int;
+  mutable updates : (Atom.t list * Atom.t list) list;
+      (* successful assert/retract batches as (insert, retract), newest
+         first: the source text alone no longer describes the db, so a
+         rebuild after eviction must replay them *)
 }
 
 type store = (string, entry) Hashtbl.t
 
 let create () : store = Hashtbl.create 8
 
-let build source =
+let build source updates =
   let p = Parser.parse_program source in
   let theory = Theory.make p.Parser.rules in
   let db = Instance.of_atoms p.Parser.facts in
+  List.iter
+    (fun (insert, retract) ->
+      ignore (Bddfc_chase.Maintain.update_db db ~insert ~retract))
+    (List.rev updates);
   let lint =
     Bddfc_analysis.Diagnostic.count
       (Bddfc_analysis.Analyzer.analyze_program p)
@@ -46,7 +54,9 @@ let build source =
   }
 
 let load store ~name ~source =
-  let entry = { source; warm = Some (build source); builds = 1 } in
+  let entry =
+    { source; warm = Some (build source []); builds = 1; updates = [] }
+  in
   Hashtbl.replace store name entry;
   entry
 
@@ -58,10 +68,13 @@ let warm _store entry =
   | None ->
       (* rebuild-on-next-use after an eviction; the source parsed at
          load time, so this can only re-raise if it did then *)
-      let w = build entry.source in
+      let w = build entry.source entry.updates in
       entry.warm <- Some w;
       entry.builds <- entry.builds + 1;
       w
+
+let log_update entry ~insert ~retract =
+  entry.updates <- (insert, retract) :: entry.updates
 
 let evict store name =
   match Hashtbl.find_opt store name with

@@ -20,9 +20,11 @@ type warm = {
   theory : Theory.t;
   db : Instance.t;
   lint : Bddfc_analysis.Diagnostic.counts;
-  chase : (int, Bddfc_chase.Chase.result) Hashtbl.t;
-      (** resident chase prefixes, keyed by round bound; only completed
-          (non-exhausted) prefixes are cached *)
+  chase : (int, Bddfc_chase.Maintain.state) Hashtbl.t;
+      (** resident chase prefixes with their derivation records, keyed
+          by round bound; only completed or round-truncated prefixes
+          are cached, and assert/retract maintains them in place
+          ({!Bddfc_chase.Maintain.apply}) instead of re-chasing *)
   verdicts : (string, (string * Bddfc_obs.Obs.Json.t) list) Hashtbl.t;
       (** memoized definite judge/cert reply fields, keyed by op and
           query text; unknowns are never cached (a later request may
@@ -37,6 +39,10 @@ type entry = {
   source : string;
   mutable warm : warm option; (** [None] after an eviction *)
   mutable builds : int; (** parse+analyze passes, including the load *)
+  mutable updates : (Atom.t list * Atom.t list) list;
+      (** successful assert/retract batches, newest first: a rebuild
+          after eviction replays them over the source db, so updates
+          survive eviction the way the source text does *)
 }
 
 type store
@@ -51,7 +57,15 @@ val load : store -> name:string -> source:string -> entry
 val find : store -> string -> entry option
 
 val warm : store -> entry -> warm
-(** The resident state, rebuilding from source after an eviction. *)
+(** The resident state, rebuilding from source (and replaying the
+    update log) after an eviction. *)
+
+val log_update :
+  entry -> insert:Atom.t list -> retract:Atom.t list -> unit
+(** Append a successful update batch to the entry's replay log.  Only
+    batches that fully succeeded may be logged — a failed request
+    evicts the warm state instead, and the rebuild replays exactly the
+    logged prefix. *)
 
 val evict : store -> string -> bool
 (** Drop the warm state; [true] if there was any to drop.  Also resets

@@ -180,6 +180,67 @@ let facts inst = List.rev inst.fact_list
 
 let iter_facts fn inst = List.iter fn inst.fact_list
 
+let fact_birth_tbl inst f =
+  match Fact.Table.find_opt inst.fact_birth f with Some b -> b | None -> 0
+
+(* Batch removal, the retraction side of incremental maintenance.  Only
+   the buckets a removed fact touches are rebuilt: their newest-first
+   lists are filtered in place (preserving arrival order, hence birth
+   monotonicity) and their birth arrays recomputed from the survivors.
+   Elements are never reclaimed — an orphaned id is harmless, and keeping
+   ids stable is what lets callers hold facts across removals.  The
+   instance's max birth is left as a (sound) upper bound. *)
+let remove_facts inst fs =
+  let dead = Fact.Table.create 16 in
+  List.iter
+    (fun f -> if Fact.Table.mem inst.fact_set f then Fact.Table.replace dead f ())
+    fs;
+  let removed = Fact.Table.length dead in
+  if removed = 0 then 0
+  else begin
+    inst.version <- inst.version + 1;
+    (* collect the touched bucket keys before mutating anything *)
+    let pred_keys = Hashtbl.create 8 and ppe_keys = Hashtbl.create 16 in
+    Fact.Table.iter
+      (fun f () ->
+        Hashtbl.replace pred_keys (Fact.pred f) ();
+        Array.iteri
+          (fun pos id -> Hashtbl.replace ppe_keys (Fact.pred f, pos, id) ())
+          (Fact.args f))
+      dead;
+    let rebuild key tbl =
+      match Hashtbl.find_opt tbl key with
+      | None -> ()
+      | Some b ->
+          let kept =
+            List.filter (fun f -> not (Fact.Table.mem dead f)) b.b_facts
+          in
+          let n = List.length kept in
+          if n = 0 then Hashtbl.remove tbl key
+          else begin
+            (* [kept] is newest first; births live in arrival order *)
+            let births = Array.make (max n 4) 0 in
+            List.iteri
+              (fun i f -> births.(n - 1 - i) <- fact_birth_tbl inst f)
+              kept;
+            b.b_facts <- kept;
+            b.b_size <- n;
+            b.b_births <- births
+          end
+    in
+    Hashtbl.iter (fun key () -> rebuild key inst.by_pred) pred_keys;
+    Hashtbl.iter (fun key () -> rebuild key inst.by_ppe) ppe_keys;
+    inst.fact_list <-
+      List.filter (fun f -> not (Fact.Table.mem dead f)) inst.fact_list;
+    inst.n_facts <- inst.n_facts - removed;
+    Fact.Table.iter
+      (fun f () ->
+        Fact.Table.remove inst.fact_set f;
+        Fact.Table.remove inst.fact_birth f)
+      dead;
+    removed
+  end
+
 let fact_birth inst f =
   match Fact.Table.find_opt inst.fact_birth f with Some b -> b | None -> 0
 
@@ -325,7 +386,7 @@ let signature inst =
 
 (* Add a ground atom; constants are interned by name.
    @raise Invalid_argument if the atom contains a variable. *)
-let add_atom inst atom =
+let add_atom ?(birth = 0) inst atom =
   let ids =
     List.map
       (function
@@ -334,7 +395,7 @@ let add_atom inst atom =
             invalid_arg ("Instance.add_atom: variable " ^ x ^ " in fact"))
       (Atom.args atom)
   in
-  add_fact inst (Fact.make (Atom.pred atom) (Array.of_list ids))
+  add_fact ~birth inst (Fact.make (Atom.pred atom) (Array.of_list ids))
 
 let of_atoms atoms =
   let inst = create () in

@@ -50,6 +50,17 @@ val add_fact : ?birth:int -> t -> Fact.t -> bool
     that is safe but demotes the windows to full filters).
     @raise Invalid_argument on an unknown element id. *)
 
+val remove_facts : t -> Fact.t list -> int
+(** Batch removal (the retraction side of incremental maintenance):
+    facts not present are ignored, duplicates count once; returns the
+    number of facts actually removed.  Only the index buckets a removed
+    fact touches are rebuilt, preserving arrival order — so a
+    birth-monotone instance stays monotone, and {!max_fact_birth}
+    remains a sound upper bound.  Elements (including constants that no
+    remaining fact mentions) are never reclaimed, and {!preds} keeps
+    every predicate ever seen: orphaned ids and empty predicates are
+    harmless, while keeping ids stable across removals. *)
+
 val num_facts : t -> int
 val facts : t -> Fact.t list
 val iter_facts : (Fact.t -> unit) -> t -> unit
@@ -115,8 +126,11 @@ val iter_with_arg_window :
 
 (** {1 Conversions} *)
 
-val add_atom : t -> Atom.t -> bool
-(** Add a ground atom, interning its constants.
+val add_atom : ?birth:int -> t -> Atom.t -> bool
+(** Add a ground atom, interning its constants.  [birth] (default 0)
+    stamps the fact like {!add_fact} — incremental maintenance inserts
+    updates at a fresh round so the semi-naive windows see them as a
+    delta.
     @raise Invalid_argument if the atom contains a variable. *)
 
 val of_atoms : Atom.t list -> t

@@ -40,6 +40,12 @@ dune exec test/main.exe -- test parallel
 # obs reconciliation and the serve eviction no-drift check
 dune exec test/main.exe -- test hc
 
+# the incremental-maintenance differential suite, explicitly: zoo +
+# random churn batches hom-equivalent (both ways) to a from-scratch
+# chase of the updated database, counter reconciliation, bailout
+# bit-identity, strategy bit-identity and poisoned-state determinism
+dune exec test/main.exe -- test maintain
+
 # the multi-domain lane: the whole tier-1 suite again with every
 # defaulted chase strategy forced to Parallel 4 (the env hook behind
 # Chase.default_strategy), so each suite doubles as a differential
@@ -95,6 +101,15 @@ dune exec bench/main.exe -- --analyze-smoke --bench08-check BENCH_08.json
 # least one workload must show a >= 1.5x interned speedup (both arms
 # run in the same process).  Absolute wall times are never gated.
 dune exec bench/main.exe -- --hc-smoke --bench09-check BENCH_09.json
+
+# the incremental-maintenance smoke (EX-22): a churn stream of small
+# assert/retract batches, the maintained instance bit-identical to a
+# from-scratch re-chase after every batch, per-batch stats reconciling
+# with the instance size, and the deterministic counters within 10% of
+# the committed EX-22 blob.  The >= 5x maintained-vs-rechase speedup on
+# at least one workload is gated only on machines with >= 4 cores (as
+# in BENCH_07); wall times are reported either way.
+dune exec bench/main.exe -- --maintain-smoke --bench10-check BENCH_10.json
 
 # the observability smoke: tracing must be semantically inert (same
 # results, same counter deltas) and the disabled path within noise;

@@ -1,0 +1,76 @@
+Incremental maintenance over the serve protocol: assert/retract mutate
+a warm session's database in place (Maintain.apply on every resident
+chase prefix), follow-up queries answer from the maintained prefix with
+a cache hit, and the update log survives eviction — a rebuild replays
+it over the source text.
+
+Round counters are absolute and monotone across maintenance (the birth
+round of the newest delta), not from-scratch depths — the point is that
+the prefix was NOT re-chased.
+
+  $ cat > churn.jsonl <<'EOF'
+  > {"id":1,"op":"load","session":"s","program":"e(X,Y), e(Y,Z) -> e(X,Z). e(a,b). e(b,c)."}
+  > {"id":2,"op":"query","session":"s","query":"? e(a,c)."}
+  > {"id":3,"op":"assert","session":"s","facts":"e(c,d)."}
+  > {"id":4,"op":"query","session":"s","query":"? e(a,d)."}
+  > {"id":5,"op":"retract","session":"s","facts":"e(b,c)."}
+  > {"id":6,"op":"query","session":"s","query":"? e(a,d)."}
+  > {"id":7,"op":"query","session":"s","query":"? e(a,b)."}
+  > EOF
+  $ bddfc serve < churn.jsonl
+  {"id":1,"ok":true,"op":"load","session":"s","rules":1,"facts":2,"lint_errors":0,"lint_warnings":0}
+  {"id":2,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":3,"complete":true,"cached":false}
+  {"id":3,"ok":true,"op":"assert","session":"s","inserted":1,"db_facts":3,"maintained":1,"bailouts":0}
+  {"id":4,"ok":true,"op":"query","session":"s","holds":true,"rounds":3,"facts":6,"complete":true,"cached":true}
+  {"id":5,"ok":true,"op":"retract","session":"s","retracted":1,"db_facts":2,"maintained":1,"bailouts":1}
+  {"id":6,"ok":true,"op":"query","session":"s","holds":false,"rounds":0,"facts":2,"complete":true,"cached":true}
+  {"id":7,"ok":true,"op":"query","session":"s","holds":true,"rounds":0,"facts":2,"complete":true,"cached":true}
+  $ echo $?
+  0
+
+Update-batch failures reuse the stable error codes: unknown_session
+before any parsing, bad_request for a missing batch, parse_error for a
+malformed or non-ground one.  A failed update evicts the warm state
+(poisoned-state valve), but the session source survives and the next
+request rebuilds:
+
+  $ cat > errors.jsonl <<'EOF'
+  > {"id":1,"op":"assert","session":"nope","facts":"e(a,b)."}
+  > {"id":2,"op":"load","session":"s","program":"e(X,Y) -> e(Y,X). e(a,b)."}
+  > {"id":3,"op":"assert","session":"s"}
+  > {"id":4,"op":"assert","session":"s","facts":"e(a,"}
+  > {"id":5,"op":"retract","session":"s","facts":"e(X,b)."}
+  > {"id":6,"op":"query","session":"s","query":"? e(b,a)."}
+  > EOF
+  $ bddfc serve < errors.jsonl
+  {"id":1,"ok":false,"error":"unknown_session","message":"no session named nope"}
+  {"id":2,"ok":true,"op":"load","session":"s","rules":1,"facts":1,"lint_errors":0,"lint_warnings":0}
+  {"id":3,"ok":false,"error":"bad_request","message":"missing \"facts\" member"}
+  {"id":4,"ok":false,"error":"parse_error","message":"1:5: expected a term, found end of input"}
+  {"id":5,"ok":false,"error":"parse_error","message":"1:1: facts must be ground"}
+  {"id":6,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":2,"complete":true,"cached":false}
+  $ echo $?
+  0
+
+Eviction does not lose updates: the replay log rebuilds the updated
+database from the source, so the rebuilt session still knows e(b,c) —
+and a retraction of an atom that was never a base fact is a no-op, not
+an error:
+
+  $ cat > evict.jsonl <<'EOF'
+  > {"id":1,"op":"load","session":"s","program":"e(X,Y), e(Y,Z) -> e(X,Z). e(a,b)."}
+  > {"id":2,"op":"assert","session":"s","facts":"e(b,c)."}
+  > {"id":3,"op":"evict","session":"s"}
+  > {"id":4,"op":"query","session":"s","query":"? e(a,c)."}
+  > {"id":5,"op":"retract","session":"s","facts":"e(z,z)."}
+  > {"id":6,"op":"query","session":"s","query":"? e(a,c)."}
+  > EOF
+  $ bddfc serve < evict.jsonl
+  {"id":1,"ok":true,"op":"load","session":"s","rules":1,"facts":1,"lint_errors":0,"lint_warnings":0}
+  {"id":2,"ok":true,"op":"assert","session":"s","inserted":1,"db_facts":2,"maintained":0,"bailouts":0}
+  {"id":3,"ok":true,"op":"evict","session":"s","evicted":true}
+  {"id":4,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":3,"complete":true,"cached":false}
+  {"id":5,"ok":true,"op":"retract","session":"s","retracted":0,"db_facts":2,"maintained":1,"bailouts":0}
+  {"id":6,"ok":true,"op":"query","session":"s","holds":true,"rounds":1,"facts":3,"complete":true,"cached":true}
+  $ echo $?
+  0
